@@ -1,0 +1,100 @@
+package livenas
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the corresponding result through the experiment
+// harness at reduced "bench" scale (30-second sessions, one trace per
+// point); run `go run ./cmd/livenas-bench -all` for the full fast-mode
+// tables and `-full` for the large-frame configuration.
+
+import (
+	"testing"
+	"time"
+
+	"livenas/internal/exp"
+)
+
+// benchOptions keeps every figure benchmark to seconds-not-minutes.
+func benchOptions() exp.Options {
+	o := exp.DefaultOptions()
+	o.Duration = 30 * time.Second
+	o.Traces = 1
+	return o
+}
+
+// runExp executes one registered experiment b.N times.
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(o)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B)     { runExp(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)     { runExp(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B)     { runExp(b, "fig2c") }
+func BenchmarkFig2d(b *testing.B)     { runExp(b, "fig2d") }
+func BenchmarkFig5(b *testing.B)      { runExp(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { runExp(b, "fig6") }
+func BenchmarkFig8(b *testing.B)      { runExp(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { runExp(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { runExp(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { runExp(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { runExp(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { runExp(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { runExp(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { runExp(b, "fig15") }
+func BenchmarkFig16(b *testing.B)     { runExp(b, "fig16") }
+func BenchmarkFig17(b *testing.B)     { runExp(b, "fig17") }
+func BenchmarkFig18(b *testing.B)     { runExp(b, "fig18") }
+func BenchmarkFig19(b *testing.B)     { runExp(b, "fig19") }
+func BenchmarkFig20(b *testing.B)     { runExp(b, "fig20") }
+func BenchmarkFig21(b *testing.B)     { runExp(b, "fig21") }
+func BenchmarkFig22(b *testing.B)     { runExp(b, "fig22") }
+func BenchmarkFig23(b *testing.B)     { runExp(b, "fig23") }
+func BenchmarkFig25(b *testing.B)     { runExp(b, "fig25") }
+func BenchmarkFig26to29(b *testing.B) { runExp(b, "fig26-29") }
+func BenchmarkTable1(b *testing.B)    { runExp(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { runExp(b, "table2") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkAblationResidual(b *testing.B)  { runExp(b, "abl-residual") }
+func BenchmarkAblationSampler(b *testing.B)   { runExp(b, "abl-sampler") }
+func BenchmarkAblationRecency(b *testing.B)   { runExp(b, "abl-recency") }
+func BenchmarkAblationScheduler(b *testing.B) { runExp(b, "abl-scheduler") }
+func BenchmarkAblationFuncodec(b *testing.B)  { runExp(b, "abl-funcodec") }
+
+// BenchmarkIngestSession measures raw simulator throughput: one full
+// 30-second LiveNAS ingest session per iteration.
+func BenchmarkIngestSession(b *testing.B) {
+	tr := FCCUplink(3, 2*time.Minute, 250)
+	cfg := Config{
+		Cat:      JustChatting,
+		Seed:     7,
+		Native:   Resolution{Name: "1080p/5", W: 384, H: 216},
+		Ingest:   Resolution{Name: "540p/5", W: 192, H: 108},
+		FPS:      10,
+		Duration: 30 * time.Second,
+		Trace:    tr,
+		Scheme:   SchemeLiveNAS,
+
+		PatchSize: 24, MinVideoKbps: 40, GCCInitKbps: 160,
+		StepKbps: 20, InitPatchKbps: 20, MinPatchKbps: 5,
+		MTU: 240, Channels: 6,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Run(cfg)
+		if r.FramesDecoded == 0 {
+			b.Fatal("no frames decoded")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command livenas-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	livenas-bench -list
+//	livenas-bench -fig fig9
+//	livenas-bench -all
+//	livenas-bench -all -full          # full-scale (slow) mode
+//	livenas-bench -fig fig20 -seed 3  # sensitivity re-run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"livenas/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		fig     = flag.String("fig", "", "run one experiment by id")
+		all     = flag.Bool("all", false, "run every experiment")
+		full    = flag.Bool("full", false, "full-scale mode (slower, larger frames)")
+		seed    = flag.Int64("seed", 0, "seed offset for sensitivity runs")
+		traces  = flag.Int("traces", 0, "traces per data point (0 = default)")
+		dur     = flag.Duration("dur", 0, "per-session stream duration (0 = default)")
+		timings = flag.Bool("time", true, "print per-experiment wall time")
+	)
+	flag.Parse()
+
+	o := exp.DefaultOptions()
+	o.Fast = !*full
+	o.Seed = *seed
+	o.Traces = *traces
+	o.Duration = *dur
+
+	switch {
+	case *list:
+		for _, e := range exp.Registry {
+			fmt.Printf("%-12s %s\n", e.ID, e.Desc)
+		}
+	case *fig != "":
+		e, err := exp.Find(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runOne(e, o, *timings)
+	case *all:
+		for _, e := range exp.Registry {
+			runOne(e, o, *timings)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e exp.Experiment, o exp.Options, timings bool) {
+	start := time.Now()
+	for _, t := range e.Run(o) {
+		fmt.Println(t)
+	}
+	if timings {
+		fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(start).Truncate(time.Millisecond))
+	}
+}

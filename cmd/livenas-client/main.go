@@ -1,0 +1,120 @@
+// Command livenas-client runs a LiveNAS ingest client over real TCP: it
+// captures synthetic live video, encodes it at the ingest resolution, and
+// uploads the stream plus high-quality training patches to livenas-server.
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"livenas/internal/codec"
+	"livenas/internal/frame"
+	"livenas/internal/metrics"
+	"livenas/internal/vidgen"
+	"livenas/internal/wire"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "127.0.0.1:9455", "server address")
+		duration = flag.Duration("duration", 20*time.Second, "stream duration")
+		fps      = flag.Float64("fps", 10, "frame rate")
+		kbps     = flag.Float64("kbps", 400, "video bitrate")
+		cat      = flag.String("category", "JC", "content category (LoL, JC, WoW, EFT, FN, PC, SP, LE, FC)")
+		seed     = flag.Int64("seed", 7, "session seed")
+	)
+	flag.Parse()
+
+	category := vidgen.JustChatting
+	for _, c := range vidgen.Categories() {
+		if c.String() == *cat {
+			category = c
+		}
+	}
+
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	defer conn.Close()
+
+	const (
+		nativeW, nativeH = 384, 216
+		scale            = 2
+		patchSize        = 24
+	)
+	ingestW, ingestH := nativeW/scale, nativeH/scale
+	if err := wire.Write(conn, &wire.Message{
+		Type:    wire.MsgHello,
+		IngestW: ingestW, IngestH: ingestH,
+		NativeW: nativeW, NativeH: nativeH,
+		FPS: *fps,
+	}); err != nil {
+		log.Fatalf("hello: %v", err)
+	}
+
+	// Drain server stats in the background.
+	go func() {
+		for {
+			m, err := wire.Read(conn)
+			if err != nil {
+				return
+			}
+			if m.Type == wire.MsgStats {
+				log.Printf("server: epoch %d, SR gain %+.2f dB (%d samples)", m.Epochs, m.GainDB, m.Samples)
+			}
+		}
+	}()
+
+	src := vidgen.NewSource(category, nativeW, nativeH, *seed, duration.Seconds()+10)
+	enc := codec.NewEncoder(codec.Config{Profile: codec.BX8, W: ingestW, H: ingestH, KeyInterval: int(*fps * 4)})
+	cells := frame.Grid(nativeW, nativeH, patchSize)
+	rng := rand.New(rand.NewSource(*seed))
+
+	frameGap := time.Duration(float64(time.Second) / *fps)
+	start := time.Now()
+	frameID := 0
+	ticker := time.NewTicker(frameGap)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		t := now.Sub(start)
+		if t > *duration {
+			break
+		}
+		raw := src.FrameAt(t.Seconds())
+		lr := raw.Downscale(scale)
+		ef := enc.Encode(lr, int(*kbps*1000 / *fps))
+		if err := wire.Write(conn, &wire.Message{
+			Type: wire.MsgVideo, FrameID: frameID, Key: ef.Key, QP: ef.QP, Data: ef.Data,
+		}); err != nil {
+			log.Fatalf("send frame: %v", err)
+		}
+		// Two patches per second, quality-filtered (§5.2).
+		if frameID%int(*fps/2+1) == 0 {
+			recon := enc.Reconstructed()
+			frameQ := metrics.PSNR(lr, recon)
+			for _, ci := range rng.Perm(len(cells)) {
+				cell := cells[ci]
+				lp := patchSize / scale
+				q := metrics.PSNR(
+					lr.Crop(cell.X/scale, cell.Y/scale, lp, lp),
+					recon.Crop(cell.X/scale, cell.Y/scale, lp, lp))
+				if q >= frameQ {
+					continue
+				}
+				hr := raw.Crop(cell.X, cell.Y, patchSize, patchSize)
+				wire.Write(conn, &wire.Message{
+					Type: wire.MsgPatch, FrameID: frameID, X: cell.X, Y: cell.Y,
+					Data: codec.EncodePatch(hr, codec.PatchQuality),
+				})
+				break
+			}
+		}
+		frameID++
+	}
+	wire.Write(conn, &wire.Message{Type: wire.MsgBye})
+	log.Printf("streamed %d frames over %v", frameID, time.Since(start).Truncate(time.Millisecond))
+}

@@ -1,0 +1,156 @@
+// Command livenas-server runs a LiveNAS media server over real TCP: it
+// accepts one ingest connection, decodes the incoming stream, trains the
+// super-resolution DNN online on the client's high-quality patches, applies
+// it to the decoded frames, and reports the measured SR gain back to the
+// client every training epoch.
+//
+// Pair it with cmd/livenas-client on the same machine:
+//
+//	livenas-server -listen :9455 &
+//	livenas-client -connect 127.0.0.1:9455 -duration 20s
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"livenas/internal/codec"
+	"livenas/internal/frame"
+	"livenas/internal/metrics"
+	"livenas/internal/sr"
+	"livenas/internal/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9455", "TCP listen address")
+		epochLen = flag.Duration("epoch", 5*time.Second, "training epoch length")
+		once     = flag.Bool("once", true, "exit after the first session")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("livenas-server listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("accept: %v", err)
+		}
+		serve(conn, *epochLen)
+		if *once {
+			return
+		}
+	}
+}
+
+func serve(conn net.Conn, epochLen time.Duration) {
+	defer conn.Close()
+	log.Printf("ingest session from %s", conn.RemoteAddr())
+
+	hello, err := wire.Read(conn)
+	if err != nil || hello.Type != wire.MsgHello {
+		log.Printf("bad hello: %v", err)
+		return
+	}
+	scale := hello.NativeW / hello.IngestW
+	log.Printf("stream: ingest %dx%d -> native %dx%d (x%d), %.0f fps",
+		hello.IngestW, hello.IngestH, hello.NativeW, hello.NativeH, scale, hello.FPS)
+
+	dec := codec.NewDecoder(codec.Config{Profile: codec.BX8, W: hello.IngestW, H: hello.IngestH})
+	model := sr.NewModel(scale, sr.DefaultChannels, 1)
+	trainer := sr.NewTrainer(model, sr.DefaultTrainConfig(), 2)
+	proc := sr.NewProcessor(model, 1, sr.RTX2080Ti())
+
+	type patchPair struct{ lr, hr *frame.Frame }
+	var (
+		lastDecoded = map[int]*frame.Frame{}
+		recent      []patchPair
+		frames      int
+		patches     int
+		epochs      int
+		epochTimer  = time.NewTicker(epochLen)
+		lastFrame   *frame.Frame
+	)
+	defer epochTimer.Stop()
+
+	msgs := make(chan *wire.Message)
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			m, err := wire.Read(conn)
+			if err != nil {
+				errc <- err
+				return
+			}
+			msgs <- m
+		}
+	}()
+
+	for {
+		select {
+		case err := <-errc:
+			log.Printf("session ended after %d frames, %d patches, %d epochs: %v", frames, patches, epochs, err)
+			return
+		case <-epochTimer.C:
+			if trainer.SampleCount() == 0 {
+				continue
+			}
+			loss := trainer.Epoch()
+			epochs++
+			proc.Sync(model)
+			gain := 0.0
+			for _, p := range recent {
+				up := p.lr.ResizeBilinear(p.hr.W, p.hr.H)
+				gain += metrics.PSNR(p.hr, model.SuperResolve(p.lr)) - metrics.PSNR(p.hr, up)
+			}
+			if len(recent) > 0 {
+				gain /= float64(len(recent))
+			}
+			log.Printf("epoch %d: loss %.5f, SR gain on recent patches %+.2f dB (%d samples)",
+				epochs, loss, gain, trainer.SampleCount())
+			wire.Write(conn, &wire.Message{Type: wire.MsgStats, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()})
+			if lastFrame != nil {
+				out, lat := proc.Process(lastFrame)
+				log.Printf("applied SR to latest frame: %dx%d (model-latency %v)", out.W, out.H, lat)
+			}
+		case m := <-msgs:
+			switch m.Type {
+			case wire.MsgVideo:
+				f, err := dec.Decode(&codec.EncodedFrame{Data: m.Data, Key: m.Key, QP: m.QP, Seq: m.FrameID})
+				if err != nil {
+					log.Printf("decode frame %d: %v", m.FrameID, err)
+					continue
+				}
+				frames++
+				lastFrame = f
+				lastDecoded[m.FrameID] = f
+				delete(lastDecoded, m.FrameID-100)
+			case wire.MsgPatch:
+				hr, err := codec.DecodePatch(m.Data)
+				if err != nil {
+					continue
+				}
+				lf, ok := lastDecoded[m.FrameID]
+				if !ok {
+					continue
+				}
+				lps := hr.W / scale
+				lr := lf.Crop(m.X/scale, m.Y/scale, lps, lps)
+				trainer.AddSample(lr, hr)
+				recent = append(recent, patchPair{lr: lr, hr: hr})
+				if len(recent) > 8 {
+					recent = recent[1:]
+				}
+				patches++
+			case wire.MsgBye:
+				log.Printf("client done: %d frames, %d patches, %d epochs", frames, patches, epochs)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Command tracegen emits synthetic network traces (one "kbps" sample per
+// line, Mahimahi-style) from the generators used across the evaluation.
+//
+//	tracegen -kind fcc-up -mean 4000 -dur 5m -seed 3 > trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"livenas/internal/trace"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "fcc-up", "trace family: fcc-up, fcc-down, 3g, pensieve")
+		mean = flag.Float64("mean", 4000, "mean kbps (fcc-up only)")
+		dur  = flag.Duration("dur", 5*time.Minute, "trace duration")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *kind {
+	case "fcc-up":
+		tr = trace.FCCUplink(*seed, *dur, *mean)
+	case "fcc-down":
+		tr = trace.FCCDownlink(*seed, *dur)
+	case "3g":
+		tr = trace.ThreeG(*seed, *dur)
+	case "pensieve":
+		tr = trace.PensieveDownlink(*seed, *dur)
+	default:
+		log.Fatalf("unknown trace kind %q", *kind)
+	}
+	fmt.Printf("# %s  dt=%v  avg=%.0f kbps\n", tr.Name, tr.DT, tr.Avg())
+	for _, k := range tr.Kbps {
+		fmt.Printf("%.0f\n", k)
+	}
+}

@@ -1,0 +1,70 @@
+// Gamestream: a scene-change-heavy stream (Fortnite-class content) showing
+// the content-adaptive trainer suspending on gain saturation and resuming
+// on scene transitions (the paper's Figure 16 case study), and what that
+// saves in GPU time versus continuous training.
+//
+//	go run ./examples/gamestream
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"livenas"
+)
+
+func main() {
+	uplink := livenas.FCCUplink(11, 5*time.Minute, 300)
+
+	base := livenas.Config{
+		Cat:      livenas.Fortnite, // frequent scene changes
+		Seed:     11,
+		Native:   livenas.Resolution{Name: "1080p-class", W: 384, H: 216},
+		Ingest:   livenas.Resolution{Name: "540p-class", W: 192, H: 108},
+		FPS:      10,
+		Duration: 150 * time.Second,
+		Trace:    uplink,
+
+		PatchSize:     24,
+		MinVideoKbps:  40,
+		GCCInitKbps:   160,
+		StepKbps:      20,
+		InitPatchKbps: 20,
+		MinPatchKbps:  5,
+		MTU:           240,
+		Channels:      6,
+	}
+
+	fmt.Println("Content-adaptive training (LiveNAS, Algorithm 1):")
+	adaptive := base
+	adaptive.TrainPolicy = livenas.TrainAdaptive
+	ra := livenas.Run(adaptive)
+	for _, st := range ra.Timeline {
+		fmt.Printf("  t=%6.1fs  trainer %s\n", st.T.Seconds(), st.State)
+	}
+
+	continuous := base
+	continuous.TrainPolicy = livenas.TrainContinuous
+	rc := livenas.Run(continuous)
+
+	earlyStop := base
+	earlyStop.TrainPolicy = livenas.TrainEarlyStop
+	re := livenas.Run(earlyStop)
+
+	fmt.Printf(`
+Scheme            PSNR      GPU training time
+continuous        %.2f dB  %v (%.0f%% of stream)
+content-adaptive  %.2f dB  %v (%.0f%% of stream)
+early-stop        %.2f dB  %v (%.0f%% of stream)
+
+Content-adaptive training keeps %.0f%% of continuous training's quality gain
+while using %.0f%% of its GPU time (paper case study: comparable quality at
+46%% of the GPU; 65%% average savings across streams).
+`,
+		rc.AvgPSNR, rc.GPUTrainBusy, rc.TrainingShare()*100,
+		ra.AvgPSNR, ra.GPUTrainBusy, ra.TrainingShare()*100,
+		re.AvgPSNR, re.GPUTrainBusy, re.TrainingShare()*100,
+		ra.AvgPSNR/rc.AvgPSNR*100,
+		ra.GPUTrainBusy.Seconds()/rc.GPUTrainBusy.Seconds()*100,
+	)
+}

@@ -1,0 +1,3 @@
+module livenas
+
+go 1.22

@@ -1,0 +1,70 @@
+package abr
+
+import (
+	"math"
+	"time"
+)
+
+// BOLA is the Lyapunov-optimisation ABR of Spiteri, Urgaonkar & Sitaraman
+// (INFOCOM'16), included as an additional distribution-side baseline beyond
+// the paper's Pensieve/robustMPC pair. BOLA chooses the rung maximising
+// (V * utility + V*gp - buffer) / chunkSize, where utility is the log of
+// the rung's (effective) bitrate — it needs no throughput estimate at all.
+type BOLA struct {
+	// Gp is the playback-smoothness weight (default 5).
+	Gp float64
+	// V scales the utility-vs-buffer trade-off (default derived from the
+	// buffer capacity and ladder size at first use).
+	V float64
+}
+
+// Name implements Algorithm.
+func (b *BOLA) Name() string { return "BOLA" }
+
+// Next implements Algorithm.
+func (b *BOLA) Next(rungs []Rung, thr []float64, buffer time.Duration) int {
+	if len(rungs) == 0 {
+		return 0
+	}
+	gp := b.Gp
+	if gp <= 0 {
+		gp = 5
+	}
+	v := b.V
+	if v <= 0 {
+		// Calibrate V so the top rung is chosen when the buffer is nearly
+		// full (8 s live buffer) and the bottom rung near empty.
+		vmax := utility(rungs[len(rungs)-1], rungs[0])
+		v = (8 - 2) / (vmax + gp)
+	}
+	bufSec := buffer.Seconds()
+	best, bestScore := 0, math.Inf(-1)
+	for i, r := range rungs {
+		score := (v*(utility(r, rungs[0])+gp) - bufSec) / (r.Kbps)
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	// BOLA-E safety cap: on shallow live buffers the pure Lyapunov choice
+	// oscillates, so never pick a rung whose expected download time (at the
+	// harmonic-mean throughput) exceeds the current buffer.
+	if est := harmonicMean(tail(thr, 5)); est > 0 {
+		const chunkSec = 2.0
+		for best > 0 {
+			if rungs[best].Kbps*chunkSec/est <= math.Max(bufSec, chunkSec) {
+				break
+			}
+			best--
+		}
+	}
+	return best
+}
+
+// utility is BOLA's logarithmic chunk utility relative to the lowest rung.
+func utility(r, lowest Rung) float64 {
+	if lowest.EffectiveKbps <= 0 || r.EffectiveKbps <= 0 {
+		return 0
+	}
+	return math.Log(r.EffectiveKbps / lowest.EffectiveKbps)
+}

@@ -1,0 +1,154 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReadBack(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBit(1)
+	w.writeBits(0b1011, 4)
+	w.writeBits(0xDEAD, 16)
+	data := w.finish()
+	r := newBitReader(data)
+	if b, _ := r.readBit(); b != 1 {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.readBits(4); v != 0b1011 {
+		t.Fatalf("nibble %b", v)
+	}
+	if v, _ := r.readBits(16); v != 0xDEAD {
+		t.Fatalf("word %x", v)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0, 13)
+	if w.bitLen() != 13 {
+		t.Fatalf("bitLen=%d", w.bitLen())
+	}
+	w.finish()
+	if len(w.buf) != 2 {
+		t.Fatalf("finish padded to %d bytes", len(w.buf))
+	}
+}
+
+func TestUEKnownCodes(t *testing.T) {
+	// Exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+	w := &bitWriter{}
+	w.writeUE(0)
+	w.writeUE(1)
+	w.writeUE(2)
+	w.writeUE(3)
+	r := newBitReader(w.finish())
+	for want := uint32(0); want < 4; want++ {
+		got, err := r.readUE()
+		if err != nil || got != want {
+			t.Fatalf("readUE=%d,%v want %d", got, err, want)
+		}
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	vals := []int32{0, 1, -1, 2, -2, 17, -300, 1 << 20, -(1 << 20)}
+	w := &bitWriter{}
+	for _, v := range vals {
+		w.writeSE(v)
+	}
+	r := newBitReader(w.finish())
+	for _, want := range vals {
+		got, err := r.readSE()
+		if err != nil || got != want {
+			t.Fatalf("readSE=%d,%v want %d", got, err, want)
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := newBitReader([]byte{0xFF})
+	if _, err := r.readBits(16); err == nil {
+		t.Fatal("expected error reading past end")
+	}
+}
+
+func TestCorruptUE(t *testing.T) {
+	// All zeros: leading-zero run never terminates within the stream.
+	r := newBitReader(make([]byte, 8))
+	if _, err := r.readUE(); err == nil {
+		t.Fatal("expected error for unterminated UE")
+	}
+}
+
+func TestQuickUERoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := &bitWriter{}
+		for _, v := range vals {
+			w.writeUE(v % (1 << 30))
+		}
+		r := newBitReader(w.finish())
+		for _, v := range vals {
+			got, err := r.readUE()
+			if err != nil || got != v%(1<<30) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		type op struct {
+			kind int
+			u    uint64
+			n    uint
+			s    int32
+		}
+		var ops []op
+		w := &bitWriter{}
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				n := uint(rng.Intn(32) + 1)
+				v := rng.Uint64() & (1<<n - 1)
+				ops = append(ops, op{kind: 0, u: v, n: n})
+				w.writeBits(v, n)
+			case 1:
+				v := uint32(rng.Intn(1 << 16))
+				ops = append(ops, op{kind: 1, u: uint64(v)})
+				w.writeUE(v)
+			default:
+				v := int32(rng.Intn(1<<15) - 1<<14)
+				ops = append(ops, op{kind: 2, s: v})
+				w.writeSE(v)
+			}
+		}
+		r := newBitReader(w.finish())
+		for i, o := range ops {
+			switch o.kind {
+			case 0:
+				got, err := r.readBits(o.n)
+				if err != nil || got != o.u {
+					t.Fatalf("trial %d op %d bits: got %d err %v", trial, i, got, err)
+				}
+			case 1:
+				got, err := r.readUE()
+				if err != nil || uint64(got) != o.u {
+					t.Fatalf("trial %d op %d ue: got %d err %v", trial, i, got, err)
+				}
+			default:
+				got, err := r.readSE()
+				if err != nil || got != o.s {
+					t.Fatalf("trial %d op %d se: got %d err %v", trial, i, got, err)
+				}
+			}
+		}
+	}
+}

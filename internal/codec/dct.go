@@ -1,0 +1,119 @@
+package codec
+
+import "math"
+
+// blockSize is the transform block size (8x8, as in JPEG/VP8's core).
+const blockSize = 8
+
+// dctBasis holds the 8-point DCT-II basis, basis[k][n] = c(k)*cos((2n+1)kπ/16).
+var dctBasis [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			dctBasis[k][n] = c * math.Cos(float64(2*n+1)*float64(k)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+// fdct8 applies a separable forward 8x8 DCT-II in place-ish: src (spatial,
+// row-major, 64 samples) to dst (frequency).
+func fdct8(src, dst *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += dctBasis[k][n] * src[y*8+n]
+			}
+			tmp[y*8+k] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for k := 0; k < 8; k++ {
+			var s float64
+			for n := 0; n < 8; n++ {
+				s += dctBasis[k][n] * tmp[n*8+x]
+			}
+			dst[k*8+x] = s
+		}
+	}
+}
+
+// idct8 applies the inverse 8x8 DCT (DCT-III) from frequency to spatial.
+func idct8(src, dst *[64]float64) {
+	var tmp [64]float64
+	// Columns.
+	for x := 0; x < 8; x++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += dctBasis[k][n] * src[k*8+x]
+			}
+			tmp[n*8+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for n := 0; n < 8; n++ {
+			var s float64
+			for k := 0; k < 8; k++ {
+				s += dctBasis[k][n] * tmp[y*8+k]
+			}
+			dst[y*8+n] = s
+		}
+	}
+}
+
+// zigzag maps scan order to raster position within an 8x8 block.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// baseQuant is the JPEG luminance quantisation matrix: the perceptual
+// frequency weighting both profiles build on.
+var baseQuant = [64]float64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// MinQP and MaxQP bound the quantisation parameter (H.264-style scale).
+const (
+	MinQP = 0
+	MaxQP = 51
+)
+
+// qpScale converts QP to a quantiser step multiplier; +6 QP doubles the step.
+func qpScale(qp int) float64 {
+	return 0.15 * math.Pow(2, float64(qp)/6.0)
+}
+
+// quantStep returns the quantisation step for coefficient index i (raster)
+// at the given QP for a profile. BX9 flattens the high-frequency penalty
+// (keeping more detail per bit), part of its rate-distortion edge.
+func quantStep(p Profile, qp int, i int) float64 {
+	q := baseQuant[i]
+	if p == BX9 {
+		q = 6 + (q-6)*0.8
+	}
+	return q * qpScale(qp)
+}

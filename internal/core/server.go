@@ -1,0 +1,443 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"livenas/internal/codec"
+	"livenas/internal/frame"
+	"livenas/internal/metrics"
+	"livenas/internal/netem"
+	"livenas/internal/sim"
+	"livenas/internal/sr"
+	"livenas/internal/transport"
+	"livenas/internal/vidgen"
+)
+
+// trainerState is the content-adaptive trainer's FSM state (Algorithm 1).
+type trainerState int
+
+const (
+	stateTraining trainerState = iota
+	stateSuspended
+)
+
+func (s trainerState) String() string {
+	if s == stateSuspended {
+		return "suspended"
+	}
+	return "training"
+}
+
+// Content-adaptive trainer thresholds (Algorithm 1). Values are calibrated
+// to this SR model's per-epoch gain scale the same way the paper calibrates
+// to NAS's.
+const (
+	thresSat    = 0.05 // dB: smoothed epoch-over-epoch improvement below this counts toward saturation
+	countSat    = 3    // patience before suspending
+	thresOnline = 0.30 // dB: lead of DNN_t over DNN_0 below this signals content change
+	countOnline = 2    // patience before resuming
+	// diffSmooth is the EWMA weight applied to the epoch-over-epoch gain
+	// difference before the saturation comparison: SGD noise makes a single
+	// epoch's diff swing far more than NAS-scale training, so the raw
+	// Algorithm-1 comparison would never see a stable plateau.
+	diffSmooth = 0.5
+)
+
+// StateChange records a trainer ON/OFF transition (Figure 16 timeline).
+type StateChange struct {
+	T     time.Duration
+	State string
+}
+
+// decodedFrame is a reconstructed stream frame with its capture timestamp.
+type decodedFrame struct {
+	id        int
+	captureAt time.Duration
+	lr        *frame.Frame
+}
+
+// patchSample retains a received high-quality patch with its low-resolution
+// counterpart for quality validation (§6.1 "we use the high-quality training
+// patches as a reference at the media server").
+type patchSample struct {
+	hr, lr     *frame.Frame
+	receivedAt time.Duration
+}
+
+// server is the LiveNAS media server (Figure 3, right).
+type server struct {
+	s     *sim.Simulator
+	cfg   Config
+	scale int
+
+	dec   *codec.Decoder
+	reasm *transport.Reassembler
+	fbc   *transport.FeedbackCollector
+	// notify delivers a message to the client after the reverse-path delay.
+	notify func(serverMsg)
+
+	model     *sr.Model // DNN_t (trained online)
+	prevModel *sr.Model // DNN_{t-1}
+	initModel *sr.Model // DNN_{t=0}: generic benchmark-trained model
+	trainer   *sr.Trainer
+	proc      *sr.Processor
+
+	decoded      []decodedFrame // ring of recent frames
+	latest       *decodedFrame
+	recentPatch  []patchSample
+	patchBits    int // bits received this epoch
+	epochIdx     int
+	needKey      bool
+	waitKey      bool // decoder lost its reference; discard until key frame
+	earlyStopped bool // TrainEarlyStop latch
+
+	state    trainerState
+	patience int
+	diffEWMA float64 // smoothed qCur - qPrev, dB
+	timeline []StateChange
+
+	// Bookkeeping.
+	gpuTrainBusy    time.Duration
+	framesDecoded   int
+	framesLost      int
+	patchesReceived int
+	e2eLatencySum   time.Duration
+	e2eLatencyN     int
+}
+
+// genericModelCache memoises the expensive generic pre-training per
+// (scale, channels) so every experiment does not redo it.
+var genericModelCache sync.Map // key [2]int -> *sr.Model
+
+// genericModel returns (a clone of) the benchmark-dataset-trained model for
+// the given scale/width (the DNN_{t=0} of Algorithm 1 and the Generic
+// baseline of §8.1).
+func genericModel(scale, channels int) *sr.Model {
+	key := [2]int{scale, channels}
+	if v, ok := genericModelCache.Load(key); ok {
+		return v.(*sr.Model).Clone()
+	}
+	m := sr.NewModel(scale, channels, 1234)
+	ds := vidgen.GenericDataset(24, 96, 424242)
+	cfg := sr.DefaultTrainConfig()
+	sr.PretrainOnDataset(m, ds, 6, 48, cfg, 7)
+	genericModelCache.Store(key, m)
+	return m.Clone()
+}
+
+// pretrainOnSession trains model on a previous session of the same streamer
+// (the Pretrained baseline of §8.1 and the warm start of persistent
+// learning, §6.1).
+func pretrainOnSession(model *sr.Model, cfg Config) {
+	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.PretrainSeed, cfg.Duration.Seconds())
+	tr := sr.NewTrainer(model, cfg.TrainCfg, cfg.PretrainSeed^0x7e7e)
+	ps := cfg.PatchSize
+	scale := cfg.Scale()
+	cells := frame.Grid(cfg.Native.W, cfg.Native.H, ps)
+	if len(cells) == 0 {
+		return
+	}
+	n := 0
+	for t := 0.5; t < cfg.Duration.Seconds(); t += 2 {
+		f := src.FrameAt(t)
+		for j := 0; j < 2; j++ {
+			cell := cells[n%len(cells)]
+			n++
+			hr := frame.Patch(f, cell, ps)
+			tr.AddSample(hr.Downscale(scale), hr)
+		}
+		if n >= 120 {
+			break
+		}
+	}
+	// Same order of GPU budget as a LiveNAS run of this duration (§8.1
+	// "we use the same amount of GPU for training as LiveNAS").
+	epochs := int(cfg.Duration/cfg.EpochLen) / 2
+	if epochs < 4 {
+		epochs = 4
+	}
+	if epochs > 40 {
+		epochs = 40
+	}
+	for e := 0; e < epochs; e++ {
+		tr.Epoch()
+	}
+}
+
+func newServer(s *sim.Simulator, cfg Config, notify func(serverMsg)) *server {
+	scale := cfg.Scale()
+	sv := &server{
+		s:     s,
+		cfg:   cfg,
+		scale: scale,
+		dec: codec.NewDecoder(codec.Config{
+			Profile: cfg.Profile,
+			W:       cfg.Ingest.W,
+			H:       cfg.Ingest.H,
+			Deblock: cfg.Deblock,
+		}),
+		reasm:  transport.NewReassembler(),
+		fbc:    transport.NewFeedbackCollector(100 * time.Millisecond),
+		notify: notify,
+		state:  stateTraining,
+	}
+	sv.initModel = genericModel(scale, cfg.Channels)
+	switch cfg.Scheme {
+	case SchemeWebRTC:
+		// No DNN at all.
+	case SchemeGeneric:
+		sv.model = sv.initModel.Clone()
+	case SchemePretrained:
+		sv.model = sv.initModel.Clone()
+		pretrainOnSession(sv.model, cfg)
+	case SchemeLiveNAS:
+		sv.model = sv.initModel.Clone()
+		if cfg.Persistent {
+			pretrainOnSession(sv.model, cfg)
+		}
+		tcfg := cfg.TrainCfg
+		tcfg.GPUs = cfg.TrainGPUs
+		sv.trainer = sr.NewTrainer(sv.model, tcfg, cfg.Seed^0xbeef)
+		sv.prevModel = sv.model.Clone()
+	}
+	if sv.model != nil {
+		sv.proc = sr.NewProcessor(sv.model, cfg.InferGPUs, cfg.Device)
+	}
+	sv.diffEWMA = 1 // optimistic start: never suspend before real signal
+	sv.timeline = append(sv.timeline, StateChange{T: 0, State: sv.trainingActive().String()})
+	sv.reasm.OnComplete = sv.onUnit
+	sv.reasm.OnLoss = sv.onUnitLoss
+	return sv
+}
+
+// trainingActive reports whether the trainer would run an epoch now, under
+// the configured policy.
+func (sv *server) trainingActive() trainerState {
+	if sv.cfg.Scheme != SchemeLiveNAS {
+		return stateSuspended
+	}
+	switch sv.cfg.TrainPolicy {
+	case TrainContinuous:
+		return stateTraining
+	case TrainOneTime:
+		if sv.s.Now() < sv.cfg.OneTimeWindow {
+			return stateTraining
+		}
+		return stateSuspended
+	case TrainEarlyStop:
+		if sv.earlyStopped {
+			return stateSuspended
+		}
+		return stateTraining
+	default:
+		return sv.state
+	}
+}
+
+// onWirePacket receives a packet from the bottleneck link.
+func (sv *server) onWirePacket(p netem.Packet) {
+	f := p.Payload.(transport.Fragment)
+	sv.fbc.OnPacket(p.Seq, p.Size, p.SentAt, sv.s.Now())
+	sv.reasm.Add(f, sv.s.Now())
+}
+
+// onUnitLoss handles an abandoned (packet-lossy) unit.
+func (sv *server) onUnitLoss(k transport.Kind, id int) {
+	if k == transport.KindVideo {
+		sv.framesLost++
+		sv.needKey = true
+		sv.waitKey = true
+	}
+	// A lost patch is simply a lost training sample.
+}
+
+// onUnit handles a fully reassembled video frame or patch.
+func (sv *server) onUnit(a transport.Assembled) {
+	switch a.Kind {
+	case transport.KindVideo:
+		sv.onVideoFrame(a)
+	case transport.KindPatch:
+		sv.onPatch(a)
+	}
+}
+
+func (sv *server) onVideoFrame(a transport.Assembled) {
+	meta := a.Meta.(videoFrameMeta)
+	if sv.waitKey && !meta.Enc.Key {
+		sv.framesLost++
+		sv.needKey = true
+		return
+	}
+	if meta.Enc.Key {
+		sv.waitKey = false
+		sv.dec.Reset()
+	}
+	lr, err := sv.dec.Decode(&codec.EncodedFrame{Data: a.Data, Key: meta.Enc.Key, QP: meta.Enc.QP, Seq: a.ID})
+	if err != nil {
+		sv.framesLost++
+		sv.needKey = true
+		sv.waitKey = true
+		return
+	}
+	sv.framesDecoded++
+	df := decodedFrame{id: a.ID, captureAt: meta.CaptureAt, lr: lr}
+	sv.decoded = append(sv.decoded, df)
+	// Keep ~3 seconds of decoded frames for patch pairing.
+	limit := int(3 * sv.cfg.FPS)
+	if len(sv.decoded) > limit {
+		sv.decoded = sv.decoded[len(sv.decoded)-limit:]
+	}
+	sv.latest = &sv.decoded[len(sv.decoded)-1]
+	sv.e2eLatencySum += sv.s.Now() - meta.CaptureAt
+	sv.e2eLatencyN++
+}
+
+func (sv *server) onPatch(a transport.Assembled) {
+	meta := a.Meta.(patchMeta)
+	hr, err := codec.DecodePatch(a.Data)
+	if err != nil {
+		return
+	}
+	sv.patchesReceived++
+	sv.patchBits += (len(a.Data) + transport.HeaderBytes) * 8
+	// Find the exact decoded frame the patch was cropped from (§5.2: the
+	// timestamp/frame id lets the server "find the low resolution
+	// counterpart from the encoded video stream"). A temporally misaligned
+	// pair would train the DNN on moving content offsets, so patches whose
+	// frame has already left the ring (or was lost) are discarded.
+	var best *decodedFrame
+	for i := range sv.decoded {
+		if sv.decoded[i].id == meta.FrameID {
+			best = &sv.decoded[i]
+			break
+		}
+	}
+	if best == nil {
+		return
+	}
+	lps := sv.cfg.PatchSize / sv.scale
+	lr := best.lr.Crop(meta.X/sv.scale, meta.Y/sv.scale, lps, lps)
+	if sv.trainer != nil {
+		sv.trainer.AddSample(lr, hr)
+	}
+	sv.recentPatch = append(sv.recentPatch, patchSample{hr: hr, lr: lr, receivedAt: sv.s.Now()})
+	if len(sv.recentPatch) > 8 {
+		sv.recentPatch = sv.recentPatch[len(sv.recentPatch)-8:]
+	}
+}
+
+// onFeedbackTick sends transport feedback (acks + loss) every 100 ms.
+func (sv *server) onFeedbackTick() {
+	acks, lost := sv.fbc.Report()
+	msg := serverMsg{acks: acks, lost: lost, needKeyFrame: sv.needKey}
+	sv.needKey = false
+	sv.notify(msg)
+}
+
+// modelGain measures a model's SR gain over bilinear (dB) on the recent
+// high-quality patches — the server-side quality signal of §6.1.
+func (sv *server) modelGain(m *sr.Model) float64 {
+	if len(sv.recentPatch) == 0 {
+		return 0
+	}
+	var g float64
+	for _, p := range sv.recentPatch {
+		up := p.lr.ResizeBilinear(p.hr.W, p.hr.H)
+		bil := metrics.PSNR(p.hr, up)
+		srq := metrics.PSNR(p.hr, m.SuperResolve(p.lr))
+		g += srq - bil
+	}
+	return g / float64(len(sv.recentPatch))
+}
+
+// onEpochTick runs at every training-epoch boundary: one epoch of online
+// training when active, the Algorithm 1 state machine, and quality feedback
+// to the client.
+func (sv *server) onEpochTick() {
+	if sv.cfg.Scheme != SchemeLiveNAS || sv.trainer == nil {
+		return
+	}
+	sv.epochIdx++
+	active := sv.trainingActive()
+
+	var qPrev, qCur float64
+	if active == stateTraining {
+		sv.prevModel.CopyWeightsFrom(sv.model)
+		if sv.trainer.SampleCount() > 0 {
+			sv.trainer.Epoch()
+			sv.proc.Sync(sv.model)
+		}
+		// The training GPU is held for the full epoch while active (the
+		// paper sizes 50 iterations to fill the 5-second epoch).
+		sv.gpuTrainBusy += sv.cfg.EpochLen
+		qPrev = sv.modelGain(sv.prevModel)
+		qCur = sv.modelGain(sv.model)
+
+		// Algorithm 1, Training state: detect gain saturation on the
+		// smoothed epoch-over-epoch improvement.
+		if len(sv.recentPatch) > 0 {
+			sv.diffEWMA = (1-diffSmooth)*sv.diffEWMA + diffSmooth*(qCur-qPrev)
+		}
+		if sv.cfg.TrainPolicy == TrainAdaptive || sv.cfg.TrainPolicy == TrainEarlyStop {
+			if len(sv.recentPatch) > 0 && sv.diffEWMA < thresSat {
+				sv.patience++
+				if sv.patience > countSat {
+					sv.patience = 0
+					sv.state = stateSuspended
+					sv.earlyStopped = true
+					sv.timeline = append(sv.timeline, StateChange{T: sv.s.Now(), State: "suspended"})
+				}
+			} else {
+				sv.patience = 0
+			}
+		}
+	} else {
+		qCur = sv.modelGain(sv.model)
+		qPrev = qCur
+		// Algorithm 1, Suspended state: validate against DNN_{t=0} on the
+		// latest patches; resume when the online model no longer leads.
+		if sv.cfg.TrainPolicy == TrainAdaptive && len(sv.recentPatch) > 0 {
+			qInit := sv.modelGain(sv.initModel)
+			if qCur-qInit < thresOnline {
+				sv.patience++
+				if sv.patience > countOnline {
+					sv.patience = 0
+					sv.state = stateTraining
+					sv.diffEWMA = 1 // re-bootstrap: don't instantly re-suspend
+					sv.timeline = append(sv.timeline, StateChange{T: sv.s.Now(), State: "training"})
+				}
+			} else {
+				sv.patience = 0
+			}
+		}
+	}
+
+	epochPatchK := float64(sv.patchBits) / 1000 / sv.cfg.EpochLen.Seconds()
+	sv.patchBits = 0
+	sv.notify(serverMsg{
+		hasEpoch:      true,
+		qdnnPrev:      qPrev,
+		qdnnCur:       qCur,
+		epochPatchK:   epochPatchK,
+		trainingState: sv.trainingActive(),
+	})
+}
+
+// output produces the frame a viewer-facing transcoder would consume right
+// now: the latest decoded frame upscaled to the target resolution by the
+// scheme's upsampler. It returns the frame, its capture time, and the
+// simulated inference latency.
+func (sv *server) output() (*frame.Frame, time.Duration, time.Duration, bool) {
+	if sv.latest == nil {
+		return nil, 0, 0, false
+	}
+	lr := sv.latest.lr
+	if sv.proc == nil {
+		up := lr.ResizeBilinear(lr.W*sv.scale, lr.H*sv.scale)
+		lat := sv.cfg.Device.InferenceTime(lr.W, lr.H, 1, 1)
+		return up, sv.latest.captureAt, lat, true
+	}
+	out, lat := sv.proc.Process(lr)
+	return out, sv.latest.captureAt, lat, true
+}

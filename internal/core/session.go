@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"livenas/internal/metrics"
+	"livenas/internal/netem"
+	"livenas/internal/sim"
+	"livenas/internal/trace"
+	"livenas/internal/transport"
+	"livenas/internal/vidgen"
+)
+
+// SeriesPoint is one point of a time series in an experiment's results.
+type SeriesPoint struct {
+	T time.Duration
+	V float64
+}
+
+// QualitySample is one delivered-quality measurement against ground truth.
+type QualitySample struct {
+	T    time.Duration
+	PSNR float64
+	SSIM float64
+}
+
+// Results aggregates everything a session run produces; the experiment
+// harness turns these into the paper's tables and figures.
+type Results struct {
+	Cfg Config
+
+	Samples  []QualitySample
+	AvgPSNR  float64
+	AvgSSIM  float64
+	Grad     []GradPoint
+	Timeline []StateChange
+
+	Bandwidth []SeriesPoint // GCC target, kbps
+	Video     []SeriesPoint // video share, kbps
+	Patch     []SeriesPoint // patch share, kbps
+	LinkRate  []SeriesPoint // true available bandwidth, kbps
+
+	GPUTrainBusy    time.Duration
+	FramesDecoded   int
+	FramesLost      int
+	PatchesSent     int
+	PatchesReceived int
+	AvgE2ELatency   time.Duration
+	AvgInferLatency time.Duration
+	LinkStats       netem.Stats
+
+	AvgBandwidthKbps float64
+	AvgVideoKbps     float64
+	AvgPatchKbps     float64
+	BytesVideo       int
+	BytesPatch       int
+}
+
+// Run executes one full ingest session on the discrete-event simulator and
+// returns its results. It is deterministic for a fixed Config.
+func Run(cfg Config) *Results {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scale() // validates geometry up front
+	_ = scale
+
+	s := sim.New()
+	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.Seed, cfg.Duration.Seconds()+60)
+
+	var cl *client
+	notify := func(m serverMsg) {
+		s.After(cfg.PropDelay, func() {
+			if cl != nil {
+				cl.onServerMsg(m)
+			}
+		})
+	}
+	sv := newServer(s, cfg, notify)
+
+	wireSeq := 0
+	link := netem.NewLink(s, cfg.Trace, cfg.PropDelay, cfg.QueueCap, sv.onWirePacket)
+	if cfg.LossRate > 0 {
+		link.SetLossRate(cfg.LossRate, cfg.Seed^0x10c5)
+	}
+	pacer := transport.NewPacer(s, cfg.GCCInitKbps, func(f transport.Fragment) {
+		link.Send(netem.Packet{Seq: wireSeq, Size: f.WireSize(), Payload: f})
+		wireSeq++
+	})
+	cl = newClient(s, cfg, src, pacer)
+
+	res := &Results{Cfg: cfg}
+
+	// Periodic processes.
+	frameGap := time.Duration(float64(time.Second) / cfg.FPS)
+	var capture func()
+	capture = func() {
+		cl.onCapture()
+		s.After(frameGap, capture)
+	}
+	s.At(0, capture)
+
+	var sched func()
+	sched = func() {
+		cl.onSchedule()
+		s.After(cfg.UpdateEvery, sched)
+	}
+	s.After(cfg.UpdateEvery, sched)
+
+	var fb func()
+	fb = func() {
+		sv.onFeedbackTick()
+		s.After(100*time.Millisecond, fb)
+	}
+	s.After(100*time.Millisecond, fb)
+
+	var epoch func()
+	epoch = func() {
+		sv.onEpochTick()
+		s.After(cfg.EpochLen, epoch)
+	}
+	s.After(cfg.EpochLen, epoch)
+
+	var inferLatSum time.Duration
+	var inferLatN int
+	var metric func()
+	metric = func() {
+		now := s.Now()
+		out, capAt, lat, ok := sv.output()
+		if ok {
+			gt := src.FrameAt(capAt.Seconds())
+			qs := QualitySample{T: now, PSNR: metrics.PSNR(gt, out)}
+			if cfg.MeasureSSIM {
+				qs.SSIM = metrics.SSIM(gt, out)
+			}
+			res.Samples = append(res.Samples, qs)
+			inferLatSum += lat
+			inferLatN++
+		}
+		res.Bandwidth = append(res.Bandwidth, SeriesPoint{now, cl.ctrl.TargetKbps()})
+		res.Video = append(res.Video, SeriesPoint{now, cl.videoKbps()})
+		res.Patch = append(res.Patch, SeriesPoint{now, cl.currentPatchKbps()})
+		res.LinkRate = append(res.LinkRate, SeriesPoint{now, link.RateAt(now)})
+		s.After(cfg.MetricEvery, metric)
+	}
+	s.After(cfg.MetricEvery, metric)
+
+	s.RunUntil(cfg.Duration)
+
+	// Aggregate.
+	var psnrs, ssims []float64
+	for _, q := range res.Samples {
+		psnrs = append(psnrs, q.PSNR)
+		ssims = append(ssims, q.SSIM)
+	}
+	res.AvgPSNR = metrics.Mean(psnrs)
+	res.AvgSSIM = metrics.Mean(ssims)
+	res.Grad = cl.gradSeries
+	res.Timeline = sv.timeline
+	res.GPUTrainBusy = sv.gpuTrainBusy
+	res.FramesDecoded = sv.framesDecoded
+	res.FramesLost = sv.framesLost
+	res.PatchesSent = cl.patchesSent
+	res.PatchesReceived = sv.patchesReceived
+	res.LinkStats = link.Stats()
+	res.BytesVideo = cl.videoBytesSent
+	res.BytesPatch = cl.patchBytesSent
+	if sv.e2eLatencyN > 0 {
+		res.AvgE2ELatency = sv.e2eLatencySum / time.Duration(sv.e2eLatencyN)
+	}
+	if inferLatN > 0 {
+		res.AvgInferLatency = inferLatSum / time.Duration(inferLatN)
+	}
+	res.AvgBandwidthKbps = meanSeries(res.Bandwidth)
+	res.AvgVideoKbps = meanSeries(res.Video)
+	res.AvgPatchKbps = meanSeries(res.Patch)
+	return res
+}
+
+func meanSeries(ps []SeriesPoint) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range ps {
+		s += p.V
+	}
+	return s / float64(len(ps))
+}
+
+// GainOver returns the PSNR gain of r over a baseline run (typically
+// SchemeWebRTC on the same trace/content), the paper's headline metric.
+func (r *Results) GainOver(base *Results) float64 {
+	return r.AvgPSNR - base.AvgPSNR
+}
+
+// TrainingShare returns simulated GPU training time as a fraction of the
+// stream duration (Figures 9d, 10d, 15).
+func (r *Results) TrainingShare() float64 {
+	if r.Cfg.Duration <= 0 {
+		return 0
+	}
+	return r.GPUTrainBusy.Seconds() / r.Cfg.Duration.Seconds()
+}
+
+// ReducedResolution scales a resolution class down by an integer divisor.
+// Tests and the experiment harness's fast mode run the full pipeline at
+// reduced pixel counts (e.g. a "1080p-class" stream at 384x216) so that
+// hundreds of simulated sessions stay CPU-cheap; every algorithm under test
+// is resolution-agnostic.
+func ReducedResolution(r trace.Resolution, div int) trace.Resolution {
+	return trace.Resolution{
+		Name: fmt.Sprintf("%s/%d", r.Name, div),
+		W:    r.W / div,
+		H:    r.H / div,
+	}
+}
+
+// defaultTestConfig is the reduced-scale configuration shared by core tests:
+// a "1080p-class" pipeline at 1/5 linear resolution, x2 super-resolution.
+func defaultTestConfig(cat vidgen.Category) Config {
+	return Config{
+		Cat:         cat,
+		Seed:        7,
+		Native:      trace.Resolution{Name: "384x216", W: 384, H: 216},
+		Ingest:      trace.Resolution{Name: "192x108", W: 192, H: 108},
+		FPS:         10,
+		Duration:    40 * time.Second,
+		Scheme:      SchemeLiveNAS,
+		TrainPolicy: TrainAdaptive,
+		PatchSize:   24, // 16x9 grid over 384x216, as the paper's 120 over 1080p
+		MetricEvery: 2 * time.Second,
+		Channels:    6,
+		// Bitrate floors and scheduler steps scaled with frame area
+		// (1/25 of 1080p-class).
+		MinVideoKbps:  40,
+		GCCInitKbps:   160,
+		MTU:           240,
+		StepKbps:      20,
+		InitPatchKbps: 20,
+		MinPatchKbps:  5,
+	}
+}

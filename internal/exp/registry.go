@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a registered table/figure generator.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(Options) []*Table
+}
+
+// one adapts a single-table generator.
+func one(f func(Options) *Table) func(Options) []*Table {
+	return func(o Options) []*Table { return []*Table{f(o)} }
+}
+
+// Registry lists every reproducible table and figure.
+var Registry = []Experiment{
+	{"fig2a", "WebRTC vs DASH bandwidth use (motivation)", one(Fig2a)},
+	{"fig2b", "SR gain vs bandwidth scale", one(Fig2b)},
+	{"fig2c", "online vs pre-trained vs bilinear", one(Fig2c)},
+	{"fig2d", "fractional high-quality labels", Fig2d},
+	{"fig5", "quality-optimizing scheduler case study", one(Fig5)},
+	{"fig6", "normalized bitrate-quality curves", one(Fig6)},
+	{"fig8", "trace CDF and ingest resolutions", one(Fig8)},
+	{"fig9", "Twitch end-to-end gains + GPU usage", Fig9},
+	{"fig10", "YouTube 4K end-to-end gains + GPU usage", Fig10},
+	{"fig11", "persistent online learning", one(Fig11)},
+	{"fig12", "multi-GPU training", one(Fig12)},
+	{"fig13", "bandwidth savings at equal quality", one(Fig13)},
+	{"fig14", "codec-agnostic gains", one(Fig14)},
+	{"fig15", "GPU usage vs quality per scheme", one(Fig15)},
+	{"fig16", "content-adaptive trainer timeline", one(Fig16)},
+	{"fig17", "client power savings", one(Fig17)},
+	{"fig18", "gain per stream interval", one(Fig18)},
+	{"fig19", "content-adaptive vs one-time", Fig19},
+	{"fig20", "distribution-side viewer QoE", Fig20},
+	{"fig21", "patch-grid PSNR heatmaps", one(Fig21)},
+	{"fig22", "gain vs training epoch", one(Fig22)},
+	{"fig23", "training-window sensitivity", Fig23},
+	{"fig25", "SSIM improvements", one(Fig25)},
+	{"fig26-29", "per-trace absolute quality", one(Fig26to29)},
+	{"table1", "implementation lines of code", one(Table1)},
+	{"table2", "SR inference delay", one(Table2)},
+	{"abl-residual", "ablation: residual vs direct SR", one(AblationResidual)},
+	{"abl-sampler", "ablation: patch selection filter", one(AblationSampler)},
+	{"abl-recency", "ablation: recency-weighted batches", one(AblationRecency)},
+	{"abl-scheduler", "ablation: scheduler vs fixed allocation", one(AblationScheduler)},
+	{"abl-funcodec", "ablation: functional-codec quality probe", one(AblationFunctionalCodec)},
+}
+
+// Find returns the registered experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}

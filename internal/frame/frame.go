@@ -1,0 +1,200 @@
+// Package frame provides the raw-video building blocks used throughout
+// LiveNAS-Go: single-plane luminance frames, bilinear rescaling at arbitrary
+// integer or fractional factors, cropping and pasting, and the fixed 120x120
+// patch grid that the LiveNAS patch sampler (§5.2 of the paper) operates on.
+//
+// Frames are luma-only. Super-resolution networks in the NAS line train and
+// evaluate on the luminance channel; PSNR/SSIM in our pipeline are therefore
+// luma metrics, which matches the paper's methodology up to a constant.
+package frame
+
+import "fmt"
+
+// PatchSize is the side length, in pixels, of a LiveNAS training patch
+// (§5.2: "LiveNAS client sends training patches of size 120x120 pixels").
+const PatchSize = 120
+
+// Frame is a single-plane 8-bit luminance image. Pix holds W*H samples in
+// row-major order. The zero value is an empty frame.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// New returns a zeroed (black) frame of the given dimensions.
+func New(w, h int) *Frame {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: negative dimensions %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the sample at (x, y). It performs no bounds checking beyond the
+// slice's own; callers index within [0,W)x[0,H).
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Set writes the sample at (x, y).
+func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{W: f.W, H: f.H, Pix: make([]uint8, len(f.Pix))}
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Bytes returns the raw (uncompressed) size of the frame in bytes.
+func (f *Frame) Bytes() int { return len(f.Pix) }
+
+// Crop returns a new frame holding the w x h region of f whose top-left
+// corner is (x, y). The region is clipped to the frame bounds; samples
+// outside f are zero.
+func (f *Frame) Crop(x, y, w, h int) *Frame {
+	out := New(w, h)
+	for r := 0; r < h; r++ {
+		sy := y + r
+		if sy < 0 || sy >= f.H {
+			continue
+		}
+		for c := 0; c < w; c++ {
+			sx := x + c
+			if sx < 0 || sx >= f.W {
+				continue
+			}
+			out.Pix[r*w+c] = f.Pix[sy*f.W+sx]
+		}
+	}
+	return out
+}
+
+// Paste copies src into f with src's top-left corner at (x, y), clipping to
+// f's bounds.
+func (f *Frame) Paste(src *Frame, x, y int) {
+	for r := 0; r < src.H; r++ {
+		dy := y + r
+		if dy < 0 || dy >= f.H {
+			continue
+		}
+		for c := 0; c < src.W; c++ {
+			dx := x + c
+			if dx < 0 || dx >= f.W {
+				continue
+			}
+			f.Pix[dy*f.W+dx] = src.Pix[r*src.W+c]
+		}
+	}
+}
+
+// clamp8 converts a float sample to the [0,255] uint8 range.
+func clamp8(v float64) uint8 {
+	switch {
+	case v <= 0:
+		return 0
+	case v >= 255:
+		return 255
+	default:
+		return uint8(v + 0.5)
+	}
+}
+
+// ResizeBilinear rescales f to w x h using bilinear interpolation with
+// half-pixel-centred sample positions (the convention used by video scalers,
+// so that down-then-up round trips are alignment-free). It is the "bilinear
+// up-sampling" baseline the paper compares DNN super-resolution against.
+func (f *Frame) ResizeBilinear(w, h int) *Frame {
+	out := New(w, h)
+	if f.W == 0 || f.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	if w == f.W && h == f.H {
+		copy(out.Pix, f.Pix)
+		return out
+	}
+	xScale := float64(f.W) / float64(w)
+	yScale := float64(f.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y)+0.5)*yScale - 0.5
+		y0 := int(srcY)
+		if srcY < 0 {
+			srcY, y0 = 0, 0
+		}
+		fy := srcY - float64(y0)
+		y1 := y0 + 1
+		if y1 >= f.H {
+			y1 = f.H - 1
+		}
+		row0 := f.Pix[y0*f.W:]
+		row1 := f.Pix[y1*f.W:]
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*xScale - 0.5
+			x0 := int(srcX)
+			if srcX < 0 {
+				srcX, x0 = 0, 0
+			}
+			fx := srcX - float64(x0)
+			x1 := x0 + 1
+			if x1 >= f.W {
+				x1 = f.W - 1
+			}
+			top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
+			bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
+			out.Pix[y*w+x] = clamp8(top*(1-fy) + bot*fy)
+		}
+	}
+	return out
+}
+
+// Downscale returns f reduced by an integer factor using box averaging,
+// emulating the camera-ISP downscale an ingest client performs before
+// encoding at a sub-native resolution.
+func (f *Frame) Downscale(factor int) *Frame {
+	if factor <= 1 {
+		return f.Clone()
+	}
+	w, h := f.W/factor, f.H/factor
+	out := New(w, h)
+	n := float64(factor * factor)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float64
+			for dy := 0; dy < factor; dy++ {
+				row := f.Pix[(y*factor+dy)*f.W:]
+				for dx := 0; dx < factor; dx++ {
+					sum += float64(row[x*factor+dx])
+				}
+			}
+			out.Pix[y*w+x] = clamp8(sum / n)
+		}
+	}
+	return out
+}
+
+// GridCell identifies one cell of the non-overlapping patch grid laid over a
+// frame (§5.2: "a 1080p frame is divided into 16x9 grid, where each cell is a
+// 120x120 patch").
+type GridCell struct {
+	Col, Row int // grid coordinates
+	X, Y     int // top-left pixel of the cell within the frame
+}
+
+// Grid returns the non-overlapping patch grid for a frame of dimensions
+// w x h with the given cell size. Cells that would extend past the frame
+// boundary are omitted, matching the paper's whole-cell grid.
+func Grid(w, h, cell int) []GridCell {
+	if cell <= 0 {
+		return nil
+	}
+	cols, rows := w/cell, h/cell
+	out := make([]GridCell, 0, cols*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, GridCell{Col: c, Row: r, X: c * cell, Y: r * cell})
+		}
+	}
+	return out
+}
+
+// Patch extracts the patch for grid cell g (cell x cell pixels) from f.
+func Patch(f *Frame, g GridCell, cell int) *Frame {
+	return f.Crop(g.X, g.Y, cell, cell)
+}

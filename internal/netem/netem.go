@@ -1,0 +1,116 @@
+// Package netem emulates a bandwidth-constrained network path on the
+// discrete-event simulator, in the style of Mahimahi (which the paper uses):
+// a trace-driven bottleneck link with a drop-tail byte queue and fixed
+// propagation delay. The ingest client's packets traverse it; feedback
+// returns over an uncongested reverse path.
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"livenas/internal/sim"
+	"livenas/internal/trace"
+)
+
+// Packet is one transmission unit crossing the link.
+type Packet struct {
+	Seq     int
+	Size    int // bytes on the wire
+	SentAt  time.Duration
+	Payload any
+}
+
+// Stats aggregates link counters.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	BytesIn   int
+	BytesOut  int
+}
+
+// Link is a trace-driven bottleneck: packets are serviced in FIFO order at
+// the instantaneous trace rate, wait in a bounded drop-tail queue, and
+// arrive after an additional propagation delay.
+type Link struct {
+	sim      *sim.Simulator
+	tr       *trace.Trace
+	propDel  time.Duration
+	queueCap int // bytes
+	deliver  func(Packet)
+
+	queued    int // bytes currently queued (including in service)
+	busyUntil time.Duration
+	stats     Stats
+
+	lossRate float64
+	lossRng  *rand.Rand
+}
+
+// NewLink creates a link that calls deliver for each arriving packet.
+// queueCap is the drop-tail queue bound in bytes (Mahimahi-style; live
+// ingest paths use shallow buffers — §3 "the ingest server cannot use much
+// buffer").
+func NewLink(s *sim.Simulator, tr *trace.Trace, propDelay time.Duration, queueCap int, deliver func(Packet)) *Link {
+	return &Link{sim: s, tr: tr, propDel: propDelay, queueCap: queueCap, deliver: deliver}
+}
+
+// SetLossRate adds independent random packet loss on top of queue drops
+// (seeded for reproducibility). Use for loss-recovery experiments.
+func (l *Link) SetLossRate(rate float64, seed int64) {
+	l.lossRate = rate
+	l.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// QueuedBytes reports the bytes currently waiting or in service.
+func (l *Link) QueuedBytes() int { return l.queued }
+
+// RateAt exposes the underlying trace rate (kbps) at time t; experiments
+// use it to plot "available bandwidth".
+func (l *Link) RateAt(t time.Duration) float64 { return l.tr.RateAt(t) }
+
+// Send enqueues a packet. It returns false (and counts a drop) if the queue
+// is full.
+func (l *Link) Send(p Packet) bool {
+	l.stats.Sent++
+	l.stats.BytesIn += p.Size
+	if l.queued+p.Size > l.queueCap {
+		l.stats.Dropped++
+		return false
+	}
+	if l.lossRate > 0 && l.lossRng.Float64() < l.lossRate {
+		l.stats.Dropped++
+		return false
+	}
+	l.queued += p.Size
+	p.SentAt = l.sim.Now()
+
+	// Service start: after everything already queued.
+	start := l.busyUntil
+	if start < l.sim.Now() {
+		start = l.sim.Now()
+	}
+	// Transmission time at the trace rate sampled at service start. A
+	// varying-rate integral would be more exact; per-second trace samples
+	// and sub-second packets make the start-rate approximation tight.
+	rate := l.tr.RateAt(start)
+	if rate < 1 {
+		rate = 1
+	}
+	tx := time.Duration(float64(p.Size*8) / (rate * 1000) * float64(time.Second))
+	done := start + tx
+	l.busyUntil = done
+	// The packet leaves the queue when its transmission completes, and is
+	// delivered one propagation delay later.
+	l.sim.At(done, func() { l.queued -= p.Size })
+	l.sim.At(done+l.propDel, func() {
+		l.stats.Delivered++
+		l.stats.BytesOut += p.Size
+		l.deliver(p)
+	})
+	return true
+}

@@ -1,0 +1,244 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a 2-D convolution with odd square kernels, stride 1 and "same"
+// zero padding. Weight layout: [outC][inC][K][K].
+type Conv2D struct {
+	InC, OutC, K int
+	Weight       []float32
+	Bias         []float32
+	gradW        []float32
+	gradB        []float32
+	lastIn       *Tensor
+}
+
+// NewConv2D creates a convolution with He-normal initialised weights.
+func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
+	if k%2 == 0 {
+		panic("nn: Conv2D kernel must be odd")
+	}
+	l := &Conv2D{
+		InC: inC, OutC: outC, K: k,
+		Weight: make([]float32, outC*inC*k*k),
+		Bias:   make([]float32, outC),
+		gradW:  make([]float32, outC*inC*k*k),
+		gradB:  make([]float32, outC),
+	}
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	for i := range l.Weight {
+		l.Weight[i] = float32(rng.NormFloat64() * std)
+	}
+	return l
+}
+
+// ZeroInit zeroes weights and biases; used for the final layer of residual
+// SR networks so the initial network output equals the bilinear skip.
+func (l *Conv2D) ZeroInit() {
+	for i := range l.Weight {
+		l.Weight[i] = 0
+	}
+	for i := range l.Bias {
+		l.Bias[i] = 0
+	}
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []Param {
+	return []Param{{W: l.Weight, Grad: l.gradW}, {W: l.Bias, Grad: l.gradB}}
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *Tensor) *Tensor {
+	if x.C != l.InC {
+		panic("nn: Conv2D input channel mismatch")
+	}
+	l.lastIn = x
+	h, w := x.H, x.W
+	out := NewTensor(l.OutC, h, w)
+	pad := l.K / 2
+	for oc := 0; oc < l.OutC; oc++ {
+		bias := l.Bias[oc]
+		dst := out.Data[oc*h*w : (oc+1)*h*w]
+		for i := range dst {
+			dst[i] = bias
+		}
+		for ic := 0; ic < l.InC; ic++ {
+			src := x.Data[ic*h*w : (ic+1)*h*w]
+			wbase := ((oc*l.InC + ic) * l.K) * l.K
+			for ky := 0; ky < l.K; ky++ {
+				dy := ky - pad
+				for kx := 0; kx < l.K; kx++ {
+					dx := kx - pad
+					wv := l.Weight[wbase+ky*l.K+kx]
+					if wv == 0 {
+						continue
+					}
+					// Valid overlap rows/cols for this kernel tap.
+					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
+					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					for y := y0; y < y1; y++ {
+						srow := src[(y+dy)*w:]
+						drow := dst[y*w:]
+						for xx := x0; xx < x1; xx++ {
+							drow[xx] += wv * srow[xx+dx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(dOut *Tensor) *Tensor {
+	x := l.lastIn
+	h, w := x.H, x.W
+	pad := l.K / 2
+	dIn := NewTensor(l.InC, h, w)
+	for oc := 0; oc < l.OutC; oc++ {
+		g := dOut.Data[oc*h*w : (oc+1)*h*w]
+		// Bias gradient.
+		var gb float32
+		for _, v := range g {
+			gb += v
+		}
+		l.gradB[oc] += gb
+		for ic := 0; ic < l.InC; ic++ {
+			src := x.Data[ic*h*w : (ic+1)*h*w]
+			din := dIn.Data[ic*h*w : (ic+1)*h*w]
+			wbase := ((oc*l.InC + ic) * l.K) * l.K
+			for ky := 0; ky < l.K; ky++ {
+				dy := ky - pad
+				for kx := 0; kx < l.K; kx++ {
+					dx := kx - pad
+					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
+					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					var gw float32
+					wv := l.Weight[wbase+ky*l.K+kx]
+					for y := y0; y < y1; y++ {
+						srow := src[(y+dy)*w:]
+						drow := din[(y+dy)*w:]
+						grow := g[y*w:]
+						for xx := x0; xx < x1; xx++ {
+							gv := grow[xx]
+							gw += gv * srow[xx+dx]
+							drow[xx+dx] += gv * wv
+						}
+					}
+					l.gradW[wbase+ky*l.K+kx] += gw
+				}
+			}
+		}
+	}
+	return dIn
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dOut *Tensor) *Tensor {
+	dIn := dOut.Clone()
+	for i := range dIn.Data {
+		if !r.mask[i] {
+			dIn.Data[i] = 0
+		}
+	}
+	return dIn
+}
+
+// PixelShuffle rearranges a (C*s², H, W) tensor into (C, H*s, W*s): the
+// sub-pixel upsampling of ESPCN (Shi et al. 2016), which the paper's SR
+// model family uses to upscale at the network's tail.
+type PixelShuffle struct {
+	S int
+}
+
+// Params implements Layer.
+func (p *PixelShuffle) Params() []Param { return nil }
+
+// Forward implements Layer.
+func (p *PixelShuffle) Forward(x *Tensor) *Tensor {
+	s := p.S
+	if x.C%(s*s) != 0 {
+		panic("nn: PixelShuffle channel count not divisible by s²")
+	}
+	outC := x.C / (s * s)
+	out := NewTensor(outC, x.H*s, x.W*s)
+	for oc := 0; oc < outC; oc++ {
+		for sy := 0; sy < s; sy++ {
+			for sx := 0; sx < s; sx++ {
+				ic := oc*s*s + sy*s + sx
+				for y := 0; y < x.H; y++ {
+					for xx := 0; xx < x.W; xx++ {
+						out.Set(oc, y*s+sy, xx*s+sx, x.At(ic, y, xx))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *PixelShuffle) Backward(dOut *Tensor) *Tensor {
+	s := p.S
+	inC := dOut.C * s * s
+	inH, inW := dOut.H/s, dOut.W/s
+	dIn := NewTensor(inC, inH, inW)
+	for oc := 0; oc < dOut.C; oc++ {
+		for sy := 0; sy < s; sy++ {
+			for sx := 0; sx < s; sx++ {
+				ic := oc*s*s + sy*s + sx
+				for y := 0; y < inH; y++ {
+					for xx := 0; xx < inW; xx++ {
+						dIn.Set(ic, y, xx, dOut.At(oc, y*s+sy, xx*s+sx))
+					}
+				}
+			}
+		}
+	}
+	return dIn
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,58 @@
+package power
+
+import (
+	"testing"
+
+	"livenas/internal/codec"
+	"livenas/internal/trace"
+)
+
+func TestEncode4KMarkup(t *testing.T) {
+	// The paper's measured relation: 4K encoding consumes 36.3% (VP9) and
+	// 54.7% (VP8) more power than 1080p... applied on top of the pixel-rate
+	// scaling; verify at least those margins separate 4K from 1080p.
+	for _, p := range []codec.Profile{codec.BX8, codec.BX9} {
+		e1080 := Client(p, trace.R1080).Encode
+		e4k := Client(p, trace.R4K).Encode
+		if e4k <= e1080*1.3 {
+			t.Fatalf("%v: 4K encode %v not sufficiently above 1080p %v", p, e4k, e1080)
+		}
+	}
+}
+
+func TestSavingsMatchPaperBand(t *testing.T) {
+	// Figure 17: LiveNAS saves ~23% (VP8) and ~16% (VP9) total client power
+	// when ingesting 1080p instead of encoding 4K. Allow a generous band.
+	s8 := Savings(codec.BX8, trace.R4K, trace.R1080)
+	s9 := Savings(codec.BX9, trace.R4K, trace.R1080)
+	if s8 < 0.10 || s8 > 0.40 {
+		t.Fatalf("BX8 savings %.2f outside [0.10,0.40]", s8)
+	}
+	if s9 < 0.08 || s9 > 0.35 {
+		t.Fatalf("BX9 savings %.2f outside [0.08,0.35]", s9)
+	}
+	if s8 <= s9 {
+		t.Fatalf("BX8 savings (%.2f) should exceed BX9 (%.2f), as in Fig 17", s8, s9)
+	}
+}
+
+func TestBreakdownComponentsPositive(t *testing.T) {
+	b := Client(codec.BX8, trace.R720)
+	if b.Capture <= 0 || b.Encode <= 0 || b.Board <= 0 {
+		t.Fatalf("breakdown %+v has non-positive component", b)
+	}
+	if b.Total() != b.Capture+b.Encode+b.Board {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestEncodeScalesWithResolution(t *testing.T) {
+	prev := 0.0
+	for _, r := range []trace.Resolution{trace.R540, trace.R720, trace.R1080, trace.R4K} {
+		e := Client(codec.BX9, r).Encode
+		if e <= prev {
+			t.Fatalf("encode power not increasing at %s: %v <= %v", r.Name, e, prev)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: events fire in non-decreasing time order regardless of the
+// scheduling order, and equal-time events preserve insertion order.
+func TestQuickEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := New()
+		var fired []time.Duration
+		var seq []int
+		for i, d := range delays {
+			i := i
+			at := time.Duration(d%1000) * time.Millisecond
+			s.At(at, func() {
+				fired = append(fired, s.Now())
+				seq = append(seq, i)
+			})
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(a, b int) bool { return fired[a] < fired[b] }) {
+			return false
+		}
+		// Equal timestamps must preserve insertion order.
+		for i := 1; i < len(fired); i++ {
+			if fired[i] == fired[i-1] && seq[i] < seq[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

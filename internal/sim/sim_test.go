@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := New()
+	var hits []time.Duration
+	s.After(time.Second, func() {
+		hits = append(hits, s.Now())
+		s.After(2*time.Second, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 3*time.Second {
+		t.Fatalf("hits %v", hits)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	s := New()
+	ran := false
+	s.After(-5*time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative After never ran")
+	}
+}
+
+func TestSchedulingPastPanics(t *testing.T) {
+	s := New()
+	s.At(2*time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.At(time.Second, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Fatalf("count=%d want 3", count)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.RunUntil(10 * time.Second)
+	if count != 5 || s.Now() != 10*time.Second {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(time.Second, func() { count++; s.Stop() })
+	s.At(2*time.Second, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("Stop ignored, count=%d", count)
+	}
+}
+
+func TestPeriodicPattern(t *testing.T) {
+	// The idiom used throughout core: a self-rescheduling tick.
+	s := New()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 10 {
+			s.After(100*time.Millisecond, tick)
+		}
+	}
+	s.After(100*time.Millisecond, tick)
+	s.Run()
+	if ticks != 10 {
+		t.Fatalf("ticks=%d", ticks)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("now=%v", s.Now())
+	}
+}

@@ -1,0 +1,80 @@
+package sr
+
+import "time"
+
+// Device models GPU execution cost. The maths of training and inference run
+// for real on the CPU; the *simulated wall-clock* cost of each operation is
+// what experiments account against stream time and GPU-usage budgets
+// (Figures 9d, 10d, 15; Table 2). Constants are calibrated so single-GPU
+// 1080p-target inference and the paper's 5-second training epochs land in
+// the ranges of Table 2 / §6.2.
+type Device struct {
+	// PerInputPixelNS and PerOutputPixelNS model the convolution work at the
+	// network's input resolution and the tail/upsample work at the output
+	// resolution, in nanoseconds per pixel per GPU.
+	PerInputPixelNS  float64
+	PerOutputPixelNS float64
+	// TransferNS is fixed per-frame CPU<->GPU transfer + launch overhead.
+	TransferNS float64
+	// StitchNS is the extra gather/stitch overhead per additional GPU when a
+	// frame is split for intra-frame parallelism (§6.2).
+	StitchNS float64
+	// TrainFactor is the cost multiplier of one training sample (forward +
+	// backward + optimiser, fp32) relative to one inference of equal size
+	// (fp16, §7 "training uses single-precision ... inference with
+	// half-precision").
+	TrainFactor float64
+}
+
+// RTX2080Ti returns the device model used throughout the evaluation
+// (the paper's ingest server uses two GeForce RTX 2080 Ti GPUs).
+func RTX2080Ti() Device {
+	return Device{
+		PerInputPixelNS:  11,
+		PerOutputPixelNS: 6.5,
+		TransferNS:       3e6,
+		StitchNS:         2.5e6,
+		TrainFactor:      15,
+	}
+}
+
+// InferenceTime returns the simulated latency of super-resolving one frame
+// of inW x inH pixels by the given scale on gpus devices, including
+// transfer, per-strip compute (perfectly parallel across strips), and
+// stitching. scale 1 models the bilinear-only fallback row of Table 2.
+func (d Device) InferenceTime(inW, inH, scale, gpus int) time.Duration {
+	if gpus < 1 {
+		gpus = 1
+	}
+	inPix := float64(inW * inH)
+	outPix := inPix * float64(scale*scale)
+	var compute float64
+	if scale == 1 {
+		// Bilinear upsample only: cheap memory-bound pass.
+		compute = outPix * 1.0
+	} else {
+		compute = inPix*d.PerInputPixelNS + outPix*d.PerOutputPixelNS
+	}
+	ns := d.TransferNS + compute/float64(gpus) + float64(gpus-1)*d.StitchNS
+	return time.Duration(ns)
+}
+
+// TrainSampleTime returns the simulated cost of one training sample whose
+// HR label is hrPix pixels, on one GPU.
+func (d Device) TrainSampleTime(hrPix int, scale int) time.Duration {
+	inPix := float64(hrPix) / float64(scale*scale)
+	infer := inPix*d.PerInputPixelNS + float64(hrPix)*d.PerOutputPixelNS
+	return time.Duration(infer * d.TrainFactor)
+}
+
+// EpochTime returns the simulated duration of one training epoch of iters
+// steps at the given batch size, sharded across gpus data-parallel devices,
+// plus one transfer per step.
+func (d Device) EpochTime(iters, batch, hrPix, scale, gpus int) time.Duration {
+	if gpus < 1 {
+		gpus = 1
+	}
+	perSample := float64(d.TrainSampleTime(hrPix, scale))
+	perStep := perSample*float64(batch)/float64(gpus) + d.TransferNS
+	return time.Duration(perStep * float64(iters))
+}

@@ -1,0 +1,156 @@
+// Package sr implements LiveNAS-Go's super-resolution stack: the patch-based
+// residual SR network (the stand-in for NAS's "ultra-high" model, §7), the
+// online trainer with recency-weighted minibatches and multi-GPU gradient
+// aggregation (§6.2), the inference processor with intra-frame multi-GPU
+// parallelism (§6.2), and the GPU device model that charges simulated time
+// for training and inference (see DESIGN.md substitution #2).
+package sr
+
+import (
+	"math/rand"
+
+	"livenas/internal/frame"
+	"livenas/internal/nn"
+)
+
+// DefaultChannels is the hidden width of the SR network. Small enough to
+// train online on a CPU, large enough to learn content-specific detail.
+const DefaultChannels = 8
+
+// Model is a residual ESPCN-style super-resolution network for one integer
+// scale factor: conv(1->C) ReLU conv(C->C) ReLU conv(C->s²) pixel-shuffle,
+// added to a bilinear upsample of the input. The final conv is zero-
+// initialised so an untrained model reproduces bilinear upsampling exactly —
+// which is why online gain starts at 0 dB and grows with training.
+//
+// A Model is not safe for concurrent use; Processor keeps per-GPU replicas.
+type Model struct {
+	Scale    int
+	Channels int
+	layers   []nn.Layer
+	params   []nn.Param
+}
+
+// NewModel creates a model for the given integer scale factor (>= 1).
+func NewModel(scale, channels int, seed int64) *Model {
+	if scale < 1 {
+		panic("sr: scale must be >= 1")
+	}
+	if channels <= 0 {
+		channels = DefaultChannels
+	}
+	rng := rand.New(rand.NewSource(seed))
+	head := nn.NewConv2D(1, channels, 3, rng)
+	mid := nn.NewConv2D(channels, channels, 3, rng)
+	tail := nn.NewConv2D(channels, scale*scale, 3, rng)
+	tail.ZeroInit()
+	m := &Model{
+		Scale:    scale,
+		Channels: channels,
+		layers: []nn.Layer{
+			head, &nn.ReLU{},
+			mid, &nn.ReLU{},
+			tail, &nn.PixelShuffle{S: scale},
+		},
+	}
+	m.params = nn.CollectParams(m.layers)
+	return m
+}
+
+// Params exposes the learnable parameters (stable order).
+func (m *Model) Params() []nn.Param { return m.params }
+
+// ParamCount returns the total number of learnable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.params {
+		n += len(p.W)
+	}
+	return n
+}
+
+// Clone returns a deep copy (weights and architecture, fresh grad buffers).
+func (m *Model) Clone() *Model {
+	c := NewModel(m.Scale, m.Channels, 0)
+	c.CopyWeightsFrom(m)
+	return c
+}
+
+// CopyWeightsFrom overwrites this model's weights with src's. The two models
+// must share architecture. This is the "inference process is synchronized"
+// step of §7 and the model-sync step of multi-GPU training.
+func (m *Model) CopyWeightsFrom(src *Model) {
+	if len(m.params) != len(src.params) {
+		panic("sr: CopyWeightsFrom architecture mismatch")
+	}
+	for i := range m.params {
+		copy(m.params[i].W, src.params[i].W)
+	}
+}
+
+// forward runs the residual branch (without the bilinear skip).
+func (m *Model) forward(x *nn.Tensor) *nn.Tensor {
+	h := x
+	for _, l := range m.layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// backward backpropagates a gradient through the residual branch,
+// accumulating parameter gradients.
+func (m *Model) backward(g *nn.Tensor) {
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		g = m.layers[i].Backward(g)
+	}
+}
+
+// zeroGrads clears all gradient accumulators.
+func (m *Model) zeroGrads() { nn.ZeroGrads(m.layers) }
+
+// ToTensor converts a luma frame to a normalised (1, H, W) tensor in [0,1].
+func ToTensor(f *frame.Frame) *nn.Tensor {
+	t := nn.NewTensor(1, f.H, f.W)
+	for i, v := range f.Pix {
+		t.Data[i] = float32(v) / 255
+	}
+	return t
+}
+
+// FromTensor converts a (1, H, W) tensor in [0,1] back to a luma frame.
+func FromTensor(t *nn.Tensor) *frame.Frame {
+	f := frame.New(t.W, t.H)
+	for i, v := range t.Data {
+		x := v * 255
+		switch {
+		case x <= 0:
+			f.Pix[i] = 0
+		case x >= 255:
+			f.Pix[i] = 255
+		default:
+			f.Pix[i] = uint8(x + 0.5)
+		}
+	}
+	return f
+}
+
+// SuperResolve upscales lr by the model's scale factor: bilinear skip plus
+// the learned residual.
+func (m *Model) SuperResolve(lr *frame.Frame) *frame.Frame {
+	s := m.Scale
+	up := lr.ResizeBilinear(lr.W*s, lr.H*s)
+	res := m.forward(ToTensor(lr))
+	out := frame.New(up.W, up.H)
+	for i := range out.Pix {
+		v := float32(up.Pix[i]) + res.Data[i]*255
+		switch {
+		case v <= 0:
+			out.Pix[i] = 0
+		case v >= 255:
+			out.Pix[i] = 255
+		default:
+			out.Pix[i] = uint8(v + 0.5)
+		}
+	}
+	return out
+}

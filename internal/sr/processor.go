@@ -1,0 +1,109 @@
+package sr
+
+import (
+	"sync"
+	"time"
+
+	"livenas/internal/frame"
+)
+
+// Processor applies super-resolution to decoded stream frames with
+// intra-frame multi-GPU parallelism (§6.2): the frame is split into
+// equal-height strips, each strip is super-resolved on its own GPU replica
+// concurrently, and the results are stitched. The processor owns replica
+// weights that are refreshed from the training model at epoch boundaries
+// (§7 "At the end of every training epoch, the inference process is
+// synchronized"), decoupling inference from in-progress training.
+type Processor struct {
+	dev    Device
+	gpus   int
+	scale  int
+	mu     sync.Mutex
+	models []*Model
+}
+
+// haloLR is the per-side strip overlap at LR resolution; it covers the
+// network's receptive field (three 3x3 convs) so stitching is seam-free.
+const haloLR = 4
+
+// NewProcessor creates a processor with gpus replicas of model's current
+// weights.
+func NewProcessor(model *Model, gpus int, dev Device) *Processor {
+	if gpus < 1 {
+		gpus = 1
+	}
+	p := &Processor{dev: dev, gpus: gpus, scale: model.Scale}
+	for i := 0; i < gpus; i++ {
+		p.models = append(p.models, model.Clone())
+	}
+	return p
+}
+
+// GPUs reports the number of inference devices.
+func (p *Processor) GPUs() int { return p.gpus }
+
+// Sync refreshes the processor's replica weights from model.
+func (p *Processor) Sync(model *Model) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.models {
+		m.CopyWeightsFrom(model)
+	}
+}
+
+// Process super-resolves lr and returns the upscaled frame together with
+// the simulated per-frame latency from the device model. The computation is
+// genuinely parallel across strips (one goroutine per GPU replica).
+func (p *Processor) Process(lr *frame.Frame) (*frame.Frame, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.scale
+	lat := p.dev.InferenceTime(lr.W, lr.H, s, p.gpus)
+	if p.gpus == 1 || lr.H < p.gpus*haloLR*3 {
+		return p.models[0].SuperResolve(lr), lat
+	}
+
+	out := frame.New(lr.W*s, lr.H*s)
+	stripH := (lr.H + p.gpus - 1) / p.gpus
+	var wg sync.WaitGroup
+	for g := 0; g < p.gpus; g++ {
+		y0 := g * stripH
+		if y0 >= lr.H {
+			break
+		}
+		y1 := y0 + stripH
+		if y1 > lr.H {
+			y1 = lr.H
+		}
+		wg.Add(1)
+		go func(g, y0, y1 int) {
+			defer wg.Done()
+			// Expand by the halo, super-resolve, then crop the halo away.
+			top := maxI(0, y0-haloLR)
+			bot := minI(lr.H, y1+haloLR)
+			strip := lr.Crop(0, top, lr.W, bot-top)
+			up := p.models[g].SuperResolve(strip)
+			cropTop := (y0 - top) * s
+			region := up.Crop(0, cropTop, up.W, (y1-y0)*s)
+			// Rows are disjoint across goroutines; Paste touches only
+			// [y0*s, y1*s) of out.
+			out.Paste(region, 0, y0*s)
+		}(g, y0, y1)
+	}
+	wg.Wait()
+	return out, lat
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

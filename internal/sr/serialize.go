@@ -1,0 +1,86 @@
+package sr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model serialization supports persistent online learning (§6.1 "operators
+// can choose to keep and reuse the result of online learning for future
+// streams for popular streamers"): the media server saves the model when a
+// stream ends and warm-starts the streamer's next session from it.
+//
+// The format is a small versioned binary header followed by the raw float32
+// parameters in Params() order.
+
+// serializeMagic identifies a LiveNAS-Go model file.
+const serializeMagic = 0x4c4e4153 // "LNAS"
+
+const serializeVersion = 1
+
+// ErrBadModelFile reports a corrupt or incompatible model file.
+var ErrBadModelFile = errors.New("sr: bad model file")
+
+// Save writes the model's architecture and weights to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{serializeMagic, serializeVersion, uint32(m.Scale), uint32(m.Channels)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range m.params {
+		if err := binary.Write(bw, binary.BigEndian, uint32(len(p.W))); err != nil {
+			return err
+		}
+		for _, f := range p.W {
+			if err := binary.Write(bw, binary.BigEndian, math.Float32bits(f)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic, version, scale, channels uint32
+	for _, dst := range []*uint32{&magic, &version, &scale, &channels} {
+		if err := binary.Read(br, binary.BigEndian, dst); err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadModelFile)
+		}
+	}
+	if magic != serializeMagic {
+		return nil, fmt.Errorf("%w: bad magic %08x", ErrBadModelFile, magic)
+	}
+	if version != serializeVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModelFile, version)
+	}
+	if scale < 1 || scale > 8 || channels < 1 || channels > 1024 {
+		return nil, fmt.Errorf("%w: implausible geometry x%d/%dch", ErrBadModelFile, scale, channels)
+	}
+	m := NewModel(int(scale), int(channels), 0)
+	for pi, p := range m.params {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: truncated param %d", ErrBadModelFile, pi)
+		}
+		if int(n) != len(p.W) {
+			return nil, fmt.Errorf("%w: param %d has %d weights, want %d", ErrBadModelFile, pi, n, len(p.W))
+		}
+		for i := range p.W {
+			var bits uint32
+			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
+				return nil, fmt.Errorf("%w: truncated weights", ErrBadModelFile)
+			}
+			p.W[i] = math.Float32frombits(bits)
+		}
+	}
+	return m, nil
+}

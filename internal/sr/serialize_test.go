@@ -1,0 +1,74 @@
+package sr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"livenas/internal/metrics"
+	"livenas/internal/vidgen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := NewModel(3, 6, 17)
+	// Give it distinctive weights via a little training.
+	tr := NewTrainer(m, DefaultTrainConfig(), 5)
+	src := vidgen.NewSource(vidgen.Sports, 96, 96, 3, 60)
+	trainPairs(tr, src, 3, 48, 4)
+	tr.Epoch()
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 3 || got.Channels != 6 {
+		t.Fatalf("geometry %d/%d", got.Scale, got.Channels)
+	}
+	// Outputs must be bit-identical.
+	lr := src.FrameAt(2).Downscale(3)
+	a := m.SuperResolve(lr)
+	b := got.SuperResolve(lr)
+	if metrics.PSNR(a, b) != metrics.PSNRCap {
+		t.Fatal("loaded model differs from saved model")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("err %v", err)
+	}
+	if _, err := Load(bytes.NewReader(nil)); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("empty err %v", err)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	m := NewModel(2, 4, 1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, 16, len(data) - 3} {
+		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, ErrBadModelFile) {
+			t.Fatalf("cut %d: err %v", cut, err)
+		}
+	}
+}
+
+func TestLoadRejectsBadGeometry(t *testing.T) {
+	// Valid header but absurd scale.
+	buf := []byte{
+		0x4c, 0x4e, 0x41, 0x53, // magic
+		0, 0, 0, 1, // version
+		0, 0, 0, 99, // scale 99
+		0, 0, 0, 6, // channels
+	}
+	if _, err := Load(bytes.NewReader(buf)); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("err %v", err)
+	}
+}

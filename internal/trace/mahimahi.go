@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Mahimahi-compatible trace I/O. The paper replays FCC/3G traces through
+// Mahimahi (Netravali et al., ATC'15); users of this reproduction can feed
+// the same real trace files in either of the two common formats:
+//
+//   - kbps format: one bandwidth sample per line (kbps), fixed 1 s spacing,
+//     '#' comments allowed — the format cmd/tracegen emits;
+//   - packet-delivery format (Mahimahi's native .up/.down files): one
+//     millisecond timestamp per line, each line granting one 1500-byte
+//     packet delivery opportunity at that instant.
+
+// ParseKbps reads a kbps-per-line trace.
+func ParseKbps(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var ks []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("trace: %s line %d: bad sample %q", name, line, s)
+		}
+		ks = append(ks, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("trace: %s contains no samples", name)
+	}
+	return &Trace{Name: name, DT: time.Second, Kbps: ks}, nil
+}
+
+// mahimahiPacketBytes is the delivery-opportunity size Mahimahi assumes.
+const mahimahiPacketBytes = 1500
+
+// ParseMahimahi reads a Mahimahi packet-delivery trace (millisecond
+// timestamps, one delivery opportunity per line) and converts it to a
+// per-second bandwidth series.
+func ParseMahimahi(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	counts := map[int]int{} // second -> packets
+	maxSec := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		ms, err := strconv.Atoi(s)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("trace: %s line %d: bad timestamp %q", name, line, s)
+		}
+		sec := ms / 1000
+		counts[sec]++
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("trace: %s contains no deliveries", name)
+	}
+	ks := make([]float64, maxSec+1)
+	for sec, n := range counts {
+		ks[sec] = float64(n*mahimahiPacketBytes*8) / 1000 // kbps
+	}
+	return &Trace{Name: name, DT: time.Second, Kbps: ks}, nil
+}
+
+// WriteKbps writes the trace in kbps-per-line format (round-trips with
+// ParseKbps).
+func (tr *Trace) WriteKbps(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s dt=%v avg=%.0f kbps\n", tr.Name, tr.DT, tr.Avg())
+	for _, k := range tr.Kbps {
+		fmt.Fprintf(bw, "%.0f\n", k)
+	}
+	return bw.Flush()
+}

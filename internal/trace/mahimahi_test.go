@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseKbps(t *testing.T) {
+	in := "# comment\n1000\n\n2000\n 3000 \n"
+	tr, err := ParseKbps("x", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Kbps) != 3 || tr.Kbps[0] != 1000 || tr.Kbps[2] != 3000 {
+		t.Fatalf("parsed %v", tr.Kbps)
+	}
+	if tr.DT != time.Second {
+		t.Fatalf("dt %v", tr.DT)
+	}
+}
+
+func TestParseKbpsErrors(t *testing.T) {
+	if _, err := ParseKbps("x", strings.NewReader("abc\n")); err == nil {
+		t.Fatal("bad sample accepted")
+	}
+	if _, err := ParseKbps("x", strings.NewReader("-5\n")); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+	if _, err := ParseKbps("x", strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestParseMahimahi(t *testing.T) {
+	// 4 packets in second 0, 2 in second 2 (second 1 empty).
+	in := "10\n200\n300\n900\n2100\n2500\n"
+	tr, err := ParseMahimahi("mm", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Kbps) != 3 {
+		t.Fatalf("len %d", len(tr.Kbps))
+	}
+	want0 := float64(4*1500*8) / 1000
+	if tr.Kbps[0] != want0 {
+		t.Fatalf("sec0 %v want %v", tr.Kbps[0], want0)
+	}
+	if tr.Kbps[1] != 0 {
+		t.Fatalf("empty second not zero: %v", tr.Kbps[1])
+	}
+}
+
+func TestParseMahimahiErrors(t *testing.T) {
+	if _, err := ParseMahimahi("mm", strings.NewReader("oops\n")); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+	if _, err := ParseMahimahi("mm", strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestWriteKbpsRoundTrip(t *testing.T) {
+	orig := FCCUplink(3, time.Minute, 2000)
+	var buf bytes.Buffer
+	if err := orig.WriteKbps(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseKbps("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Kbps) != len(orig.Kbps) {
+		t.Fatalf("len %d vs %d", len(back.Kbps), len(orig.Kbps))
+	}
+	for i := range back.Kbps {
+		d := back.Kbps[i] - orig.Kbps[i]
+		if d > 0.5 || d < -0.5 { // written with %.0f
+			t.Fatalf("sample %d drifted: %v vs %v", i, back.Kbps[i], orig.Kbps[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: every generator produces strictly positive, finite samples and
+// RateAt is total (never panics, wraps cleanly) for any time.
+func TestQuickGeneratorsSane(t *testing.T) {
+	f := func(seed int64, tRaw uint32) bool {
+		for _, tr := range []*Trace{
+			FCCUplink(seed, time.Minute, 3000),
+			ThreeG(seed, time.Minute),
+			FCCDownlink(seed, time.Minute),
+			PensieveDownlink(seed, time.Minute),
+		} {
+			for _, k := range tr.Kbps {
+				if !(k > 0) || k > 1e6 {
+					return false
+				}
+			}
+			at := time.Duration(tRaw) * time.Millisecond
+			if tr.RateAt(at) <= 0 {
+				return false
+			}
+			if tr.RateAt(-at) <= 0 { // negative times wrap too
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale is linear: Scale(a).Avg() == a * Avg().
+func TestQuickScaleLinear(t *testing.T) {
+	f := func(seed int64, fRaw uint8) bool {
+		factor := 0.25 + float64(fRaw)/64
+		tr := FCCUplink(seed, 30*time.Second, 2000)
+		s := tr.Scale(factor)
+		d := s.Avg() - factor*tr.Avg()
+		return d < 1e-6 && d > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateAtWraps(t *testing.T) {
+	tr := &Trace{DT: time.Second, Kbps: []float64{100, 200, 300}}
+	if tr.RateAt(0) != 100 || tr.RateAt(time.Second) != 200 {
+		t.Fatal("basic indexing wrong")
+	}
+	if tr.RateAt(3*time.Second) != 100 || tr.RateAt(4*time.Second) != 200 {
+		t.Fatal("wrap-around wrong")
+	}
+	if tr.RateAt(1500*time.Millisecond) != 200 {
+		t.Fatal("sub-sample indexing wrong")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{DT: time.Second}
+	if tr.RateAt(0) != 0 || tr.Avg() != 0 {
+		t.Fatal("empty trace should read zero")
+	}
+}
+
+func TestAvgAndScale(t *testing.T) {
+	tr := &Trace{DT: time.Second, Kbps: []float64{100, 300}}
+	if tr.Avg() != 200 {
+		t.Fatalf("avg=%v", tr.Avg())
+	}
+	s := tr.Scale(1.5)
+	if s.Avg() != 300 {
+		t.Fatalf("scaled avg=%v", s.Avg())
+	}
+	if tr.Kbps[0] != 100 {
+		t.Fatal("Scale mutated original")
+	}
+	if s.Duration() != 2*time.Second {
+		t.Fatalf("duration %v", s.Duration())
+	}
+}
+
+func TestFCCUplinkProperties(t *testing.T) {
+	tr := FCCUplink(7, 5*time.Minute, 4000)
+	if len(tr.Kbps) != 300 {
+		t.Fatalf("len=%d", len(tr.Kbps))
+	}
+	avg := tr.Avg()
+	if avg < 1500 || avg > 9000 {
+		t.Fatalf("avg %v far from requested 4000", avg)
+	}
+	for i, v := range tr.Kbps {
+		if v < 100 || v > 40000 {
+			t.Fatalf("sample %d out of range: %v", i, v)
+		}
+	}
+}
+
+func TestFCCUplinkDeterministic(t *testing.T) {
+	a := FCCUplink(3, time.Minute, 2000)
+	b := FCCUplink(3, time.Minute, 2000)
+	for i := range a.Kbps {
+		if a.Kbps[i] != b.Kbps[i] {
+			t.Fatal("same seed must reproduce trace")
+		}
+	}
+	c := FCCUplink(4, time.Minute, 2000)
+	same := true
+	for i := range a.Kbps {
+		if a.Kbps[i] != c.Kbps[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSampleFCCMeansDistribution(t *testing.T) {
+	means := SampleFCCMeans(500, 11)
+	var below10, below1 int
+	for _, m := range means {
+		if m < 500 || m > 10000 {
+			t.Fatalf("mean %v outside [0.5,10] Mbps", m)
+		}
+		if m <= 10000 {
+			below10++
+		}
+		if m < 1000 {
+			below1++
+		}
+	}
+	if below10 != 500 {
+		t.Fatal("all means must be <= 10 Mbps (top 38% excluded)")
+	}
+	// Some but not most traces below 1 Mbps.
+	if below1 == 0 || below1 > 250 {
+		t.Fatalf("below-1Mbps count %d implausible", below1)
+	}
+}
+
+func TestFCCSet(t *testing.T) {
+	set := FCCSet(25, 2*time.Minute, 9)
+	if len(set) != 25 {
+		t.Fatalf("set size %d", len(set))
+	}
+	seen := map[string]bool{}
+	for _, tr := range set {
+		if seen[tr.Name] {
+			t.Fatal("duplicate trace name")
+		}
+		seen[tr.Name] = true
+	}
+}
+
+func TestThreeGVariability(t *testing.T) {
+	tr := ThreeG(5, 10*time.Minute)
+	avg := tr.Avg()
+	if avg < 300 || avg > 3500 {
+		t.Fatalf("3G avg %v outside plausible range", avg)
+	}
+	// Coefficient of variation should be substantial (commute trace).
+	var sq float64
+	for _, v := range tr.Kbps {
+		d := v - avg
+		sq += d * d
+	}
+	cv := math.Sqrt(sq/float64(len(tr.Kbps))) / avg
+	if cv < 0.2 {
+		t.Fatalf("3G trace too smooth: cv=%v", cv)
+	}
+}
+
+func TestDownlinkGenerators(t *testing.T) {
+	f := FCCDownlink(3, time.Minute)
+	if f.Avg() < 10000 {
+		t.Fatalf("FCC downlink avg %v too low", f.Avg())
+	}
+	p := PensieveDownlink(3, time.Minute)
+	if p.Avg() > 5000 {
+		t.Fatalf("Pensieve downlink avg %v too high", p.Avg())
+	}
+}
+
+func TestIngestResolutionFor(t *testing.T) {
+	cases := []struct {
+		kbps float64
+		is4K bool
+		want string
+	}{
+		{800, false, "360p"},
+		{1900, false, "360p"},
+		{2500, false, "540p"},
+		{9000, false, "540p"},
+		{3000, true, "720p"},
+		{8000, true, "1080p"},
+	}
+	for _, c := range cases {
+		got := IngestResolutionFor(c.kbps, c.is4K)
+		if got.Name != c.want {
+			t.Fatalf("IngestResolutionFor(%v,%v)=%s want %s", c.kbps, c.is4K, got.Name, c.want)
+		}
+	}
+}
+
+func TestResolutionDims(t *testing.T) {
+	if R1080.W != 1920 || R1080.H != 1080 || R4K.W != 3840 || R4K.H != 2160 {
+		t.Fatal("resolution constants wrong")
+	}
+	// Scale relations the SR configs rely upon.
+	if R1080.W/R360.W != 3 || R1080.W/R540.W != 2 || R4K.W/R720.W != 3 || R4K.W/R1080.W != 2 {
+		t.Fatal("ladder scale factors wrong")
+	}
+}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"livenas/internal/sim"
+)
+
+func TestPacketizeSmallPayload(t *testing.T) {
+	fs := Packetize(KindVideo, 7, []byte("hello"), "meta", 0)
+	if len(fs) != 1 {
+		t.Fatalf("fragments %d", len(fs))
+	}
+	f := fs[0]
+	if f.Kind != KindVideo || f.ID != 7 || f.Index != 0 || f.Count != 1 {
+		t.Fatalf("fragment %+v", f)
+	}
+	if f.Meta != "meta" {
+		t.Fatal("meta missing")
+	}
+	if f.WireSize() != 5+HeaderBytes {
+		t.Fatalf("wire size %d", f.WireSize())
+	}
+}
+
+func TestPacketizeSplitsAtMTU(t *testing.T) {
+	payload := make([]byte, MTU*2+100)
+	fs := Packetize(KindPatch, 3, payload, nil, 0)
+	if len(fs) != 3 {
+		t.Fatalf("fragments %d", len(fs))
+	}
+	if len(fs[0].Data) != MTU || len(fs[2].Data) != 100 {
+		t.Fatalf("sizes %d %d %d", len(fs[0].Data), len(fs[1].Data), len(fs[2].Data))
+	}
+	for i, f := range fs {
+		if f.Index != i || f.Count != 3 {
+			t.Fatalf("fragment %d header %+v", i, f)
+		}
+	}
+	if fs[1].Meta != nil || fs[2].Meta != nil {
+		t.Fatal("meta should only ride fragment 0")
+	}
+}
+
+func TestPacketizeEmptyPayload(t *testing.T) {
+	fs := Packetize(KindVideo, 1, nil, "m", 0)
+	if len(fs) != 1 || fs[0].Count != 1 {
+		t.Fatalf("empty payload fragments %v", fs)
+	}
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	r := NewReassembler()
+	var got []Assembled
+	r.OnComplete = func(a Assembled) { got = append(got, a) }
+	payload := make([]byte, MTU*3+17)
+	rand.New(rand.NewSource(1)).Read(payload)
+	for _, f := range Packetize(KindVideo, 5, payload, "m5", 0) {
+		r.Add(f, time.Second)
+	}
+	if len(got) != 1 {
+		t.Fatalf("completed %d", len(got))
+	}
+	if !bytes.Equal(got[0].Data, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if got[0].Meta != "m5" || got[0].ID != 5 {
+		t.Fatalf("unit %+v", got[0])
+	}
+	if r.PendingUnits() != 0 {
+		t.Fatal("pending units remain")
+	}
+}
+
+func TestReassemblerDetectsLoss(t *testing.T) {
+	r := NewReassembler()
+	var lost []int
+	var completed []int
+	r.OnComplete = func(a Assembled) { completed = append(completed, a.ID) }
+	r.OnLoss = func(k Kind, id int) { lost = append(lost, id) }
+
+	// Frame 1 loses its middle fragment; frame 2 completes.
+	f1 := Packetize(KindVideo, 1, make([]byte, MTU*3), nil, 0)
+	r.Add(f1[0], 0)
+	r.Add(f1[2], 0)
+	for _, f := range Packetize(KindVideo, 2, make([]byte, MTU), nil, 0) {
+		r.Add(f, 0)
+	}
+	if len(completed) != 1 || completed[0] != 2 {
+		t.Fatalf("completed %v", completed)
+	}
+	if len(lost) != 1 || lost[0] != 1 {
+		t.Fatalf("lost %v", lost)
+	}
+}
+
+func TestReassemblerIgnoresDuplicates(t *testing.T) {
+	r := NewReassembler()
+	count := 0
+	r.OnComplete = func(Assembled) { count++ }
+	fs := Packetize(KindVideo, 1, make([]byte, MTU+1), nil, 0)
+	r.Add(fs[0], 0)
+	r.Add(fs[0], 0) // duplicate
+	r.Add(fs[1], 0)
+	if count != 1 {
+		t.Fatalf("completed %d times", count)
+	}
+}
+
+func TestReassemblerKindsIndependent(t *testing.T) {
+	r := NewReassembler()
+	var lost []Kind
+	r.OnLoss = func(k Kind, id int) { lost = append(lost, k) }
+	r.OnComplete = func(Assembled) {}
+	// Incomplete video frame 1; completing patch 5 must NOT abandon it.
+	r.Add(Packetize(KindVideo, 1, make([]byte, MTU*2), nil, 0)[0], 0)
+	for _, f := range Packetize(KindPatch, 5, make([]byte, 10), nil, 0) {
+		r.Add(f, 0)
+	}
+	if len(lost) != 0 {
+		t.Fatalf("cross-kind loss: %v", lost)
+	}
+	if r.PendingUnits() != 1 {
+		t.Fatalf("pending %d", r.PendingUnits())
+	}
+}
+
+func TestPacerSpacing(t *testing.T) {
+	s := sim.New()
+	var times []time.Duration
+	p := NewPacer(s, 960, func(f Fragment) { times = append(times, s.Now()) }) // 960 kbps
+	// 3 fragments of 1200+32 bytes: serialisation ~10.27 ms each.
+	for i := 0; i < 3; i++ {
+		p.Enqueue(Fragment{Kind: KindVideo, ID: i, Count: 1, Data: make([]byte, 1200)})
+	}
+	s.Run()
+	if len(times) != 3 {
+		t.Fatalf("sent %d", len(times))
+	}
+	if times[0] != 0 {
+		t.Fatalf("first departure %v", times[0])
+	}
+	gap := times[1] - times[0]
+	wantSec := float64(1232*8) / (960 * 1000)
+	want := time.Duration(wantSec * float64(time.Second))
+	if d := gap - want; d > time.Millisecond || d < -time.Millisecond {
+		t.Fatalf("gap %v want %v", gap, want)
+	}
+}
+
+func TestPacerRateChange(t *testing.T) {
+	s := sim.New()
+	var times []time.Duration
+	p := NewPacer(s, 100, func(f Fragment) { times = append(times, s.Now()) })
+	p.Enqueue(Fragment{Data: make([]byte, 1200), Count: 1})
+	p.Enqueue(Fragment{Data: make([]byte, 1200), Count: 1})
+	s.RunUntil(time.Millisecond) // first sent at t=0, gap set at 100 kbps (~98 ms)
+	p.SetRateKbps(10000)
+	p.Enqueue(Fragment{Data: make([]byte, 1200), Count: 1})
+	s.Run()
+	if len(times) != 3 {
+		t.Fatalf("sent %d", len(times))
+	}
+	// Second leaves at the slow-rate spacing; third follows at the new rate.
+	if times[1] < 90*time.Millisecond {
+		t.Fatalf("second packet left too early: %v", times[1])
+	}
+	if gap := times[2] - times[1]; gap > 5*time.Millisecond {
+		t.Fatalf("rate change not applied: gap %v", gap)
+	}
+}
+
+func TestPacerQueueAccounting(t *testing.T) {
+	s := sim.New()
+	p := NewPacer(s, 1, func(Fragment) {}) // ~10 s per packet: stays queued
+	p.Enqueue(Fragment{Data: make([]byte, 100), Count: 1})
+	p.Enqueue(Fragment{Data: make([]byte, 200), Count: 1})
+	if p.QueuedBytes() != 300+2*HeaderBytes {
+		t.Fatalf("queued %d", p.QueuedBytes())
+	}
+	s.Run()
+	if p.QueuedBytes() != 0 {
+		t.Fatalf("queued after drain %d", p.QueuedBytes())
+	}
+}
+
+func TestFeedbackCollector(t *testing.T) {
+	fc := NewFeedbackCollector(100 * time.Millisecond)
+	// Packets 0,1,2 delivered; 3,4 dropped; 5 delivered.
+	for _, seq := range []int{0, 1, 2, 5} {
+		fc.OnPacket(seq, 1200, time.Duration(seq)*10*time.Millisecond, time.Duration(seq)*10*time.Millisecond+20*time.Millisecond)
+	}
+	acks, lost := fc.Report()
+	if len(acks) != 4 {
+		t.Fatalf("acks %d", len(acks))
+	}
+	if lost != 2 {
+		t.Fatalf("lost %d want 2", lost)
+	}
+	// Next window: nothing received -> no loss inferred.
+	acks, lost = fc.Report()
+	if len(acks) != 0 || lost != 0 {
+		t.Fatalf("empty window: %d acks %d lost", len(acks), lost)
+	}
+	// Resume with seq 6-7.
+	fc.OnPacket(6, 1200, 0, time.Millisecond)
+	fc.OnPacket(7, 1200, 0, time.Millisecond)
+	acks, lost = fc.Report()
+	if len(acks) != 2 || lost != 0 {
+		t.Fatalf("resumed window: %d acks %d lost", len(acks), lost)
+	}
+}

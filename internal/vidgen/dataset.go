@@ -1,0 +1,21 @@
+package vidgen
+
+import "livenas/internal/frame"
+
+// GenericDataset synthesises a stand-in for a standard super-resolution
+// benchmark training set (DIV2K / NTIRE 2017 in the paper, §6.1): n images of
+// size x size pixels drawn from a mixture of texture families unrelated to
+// any particular stream session. The generic SR baseline (§8.1) and the
+// content-adaptive trainer's DNN_t=0 reference (Algorithm 1) are trained on
+// this set.
+func GenericDataset(n, size int, seed int64) []*frame.Frame {
+	out := make([]*frame.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		// Rotate through all categories and many synthetic scenes so the set
+		// is diverse but matches no single session's statistics.
+		cat := Category(i % int(numCategories))
+		src := NewSource(cat, size, size, seed+int64(i)*101, 1)
+		out = append(out, src.FrameAt(float64(i%7)*0.37))
+	}
+	return out
+}

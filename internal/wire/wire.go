@@ -1,0 +1,115 @@
+// Package wire defines the length-prefixed gob protocol used by the
+// runnable loopback demo (cmd/livenas-server and cmd/livenas-client): a
+// minimal real-network ingest path carrying encoded video frames and
+// high-quality training patches, mirroring the simulator's transport.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// MsgType tags a protocol message.
+type MsgType uint8
+
+const (
+	// MsgHello opens a session and carries the stream geometry.
+	MsgHello MsgType = iota
+	// MsgVideo carries one encoded video frame.
+	MsgVideo
+	// MsgPatch carries one compressed high-quality training patch.
+	MsgPatch
+	// MsgStats is the server's periodic quality feedback.
+	MsgStats
+	// MsgBye closes the session.
+	MsgBye
+)
+
+// Message is the single on-wire unit.
+type Message struct {
+	Type MsgType
+
+	// Hello fields.
+	IngestW, IngestH int
+	NativeW, NativeH int
+	FPS              float64
+
+	// Video fields.
+	FrameID int
+	Key     bool
+	QP      int
+
+	// Patch fields (X, Y in native coordinates).
+	X, Y int
+
+	// Stats fields.
+	GainDB  float64
+	Epochs  int
+	Samples int
+
+	// Payload: encoded frame or patch bytes.
+	Data []byte
+}
+
+// maxMessage bounds a message to keep a malformed peer from exhausting
+// memory.
+const maxMessage = 16 << 20
+
+// Write sends one message with a length prefix.
+func Write(w io.Writer, m *Message) error {
+	var buf lengthBuffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.b)
+	return err
+}
+
+// Read receives one message.
+func Read(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessage {
+		return nil, fmt.Errorf("wire: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := gob.NewDecoder(&byteReader{b: body}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}
+
+type lengthBuffer struct{ b []byte }
+
+func (l *lengthBuffer) Write(p []byte) (int, error) {
+	l.b = append(l.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.pos:])
+	r.pos += n
+	return n, nil
+}

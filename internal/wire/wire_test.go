@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		{Type: MsgHello, IngestW: 192, IngestH: 108, NativeW: 384, NativeH: 216, FPS: 10},
+		{Type: MsgVideo, FrameID: 7, Key: true, QP: 31, Data: []byte{1, 2, 3}},
+		{Type: MsgPatch, FrameID: 7, X: 48, Y: 24, Data: make([]byte, 5000)},
+		{Type: MsgStats, GainDB: 1.25, Epochs: 3, Samples: 42},
+		{Type: MsgBye},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.FrameID != want.FrameID || got.GainDB != want.GainDB ||
+			got.IngestW != want.IngestW || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &Message{Type: MsgVideo, Data: make([]byte, 100)})
+	data := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated message must error")
+	}
+}
+
+func TestReadOversized(t *testing.T) {
+	// Header claiming a message beyond the limit must be rejected before
+	// allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Read(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}

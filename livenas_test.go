@@ -1,0 +1,58 @@
+package livenas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeRun(t *testing.T) {
+	tr := FCCUplink(5, time.Minute, 250)
+	cfg := Config{
+		Cat:      Podcast,
+		Seed:     5,
+		Native:   Resolution{Name: "n", W: 384, H: 216},
+		Ingest:   Resolution{Name: "i", W: 192, H: 108},
+		FPS:      10,
+		Duration: 20 * time.Second,
+		Trace:    tr,
+		Scheme:   SchemeLiveNAS,
+
+		PatchSize: 24, MinVideoKbps: 40, GCCInitKbps: 160,
+		StepKbps: 20, InitPatchKbps: 20, MinPatchKbps: 5,
+		MTU: 240, Channels: 6,
+	}
+	r := Run(cfg)
+	if r.FramesDecoded == 0 {
+		t.Fatal("no frames decoded through facade")
+	}
+	if r.AvgPSNR <= 0 {
+		t.Fatalf("PSNR %v", r.AvgPSNR)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 25 {
+		t.Fatalf("registry too small: %d", len(ids))
+	}
+	if _, err := RunExperiment("no-such-figure", DefaultExpOptions()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	o := DefaultExpOptions()
+	tables, err := RunExperiment("table2", o)
+	if err != nil || len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("table2: %v / %v", tables, err)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if IngestResolutionFor(800, false) != R360 {
+		t.Fatal("ingest mapping wrong through facade")
+	}
+	if r := ReducedResolution(R1080, 5); r.W != 384 || r.H != 216 {
+		t.Fatalf("reduced %v", r)
+	}
+	if ThreeG(1, time.Minute).Avg() <= 0 {
+		t.Fatal("3G trace empty")
+	}
+}
