@@ -59,6 +59,9 @@ func main() {
 	}
 }
 
+// runOne runs one experiment, optionally reporting how long it took.
+//
+//livenas:allow determinism wall-clock timing report only; never feeds results
 func runOne(e exp.Experiment, o exp.Options, timings bool) {
 	start := time.Now()
 	for _, t := range e.Run(o) {

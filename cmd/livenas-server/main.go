@@ -113,7 +113,10 @@ func serve(conn net.Conn, epochLen time.Duration) {
 			}
 			log.Printf("epoch %d: loss %.5f, SR gain on recent patches %+.2f dB (%d samples)",
 				epochs, loss, gain, trainer.SampleCount())
-			wire.Write(conn, &wire.Message{Type: wire.MsgStats, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()})
+			if err := wire.Write(conn, &wire.Message{Type: wire.MsgStats, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
+				log.Printf("session ended after %d frames, %d patches, %d epochs: stats write: %v", frames, patches, epochs, err)
+				return
+			}
 			if lastFrame != nil {
 				out, lat := proc.Process(lastFrame)
 				log.Printf("applied SR to latest frame: %dx%d (model-latency %v)", out.W, out.H, lat)
@@ -150,6 +153,10 @@ func serve(conn net.Conn, epochLen time.Duration) {
 			case wire.MsgBye:
 				log.Printf("client done: %d frames, %d patches, %d epochs", frames, patches, epochs)
 				return
+			case wire.MsgHello:
+				log.Printf("duplicate hello mid-session; ignoring")
+			case wire.MsgStats:
+				// Stats flow server→client only; a client echo is ignored.
 			}
 		}
 	}

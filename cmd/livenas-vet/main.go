@@ -1,0 +1,134 @@
+// Command livenas-vet runs the project-specific static checks of
+// internal/analysis over the module: deterministic-replay enforcement,
+// unchecked wire-write errors, mutex lock/defer hygiene, exhaustive
+// wire-message switches, and float precision churn in the hot numeric
+// kernels. It is part of the pre-merge gate (scripts/check.sh).
+//
+// Usage:
+//
+//	go run ./cmd/livenas-vet [-checks c1,c2] [-list] [packages]
+//
+// Package patterns are import-path prefixes relative to the module root:
+// "./..." (default) analyses everything, "./internal/..." a subtree, and
+// "./internal/sr" a single package. Findings are silenced in place with a
+// `//livenas:allow <check> <why>` directive; see DESIGN.md "Correctness
+// tooling". Exit status is 1 when findings remain, 2 on load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"livenas/internal/analysis"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list       = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.AllChecks() {
+			fmt.Printf("%-22s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+	checks := analysis.AllChecks()
+	if *checksFlag != "" {
+		checks = checks[:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			c := analysis.CheckByName(strings.TrimSpace(name))
+			if c == nil {
+				fatalf("unknown check %q (try -list)", name)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	root, modPath, err := analysis.FindModule(wd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader := analysis.NewLoader(token.NewFileSet(), root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs = filterPackages(pkgs, flag.Args(), modPath)
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not pass the gate vacuously.
+		fatalf("no packages match %v", flag.Args())
+	}
+
+	warned := false
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "livenas-vet: warning: %v\n", e)
+			warned = true
+		}
+	}
+	if warned {
+		fmt.Fprintln(os.Stderr, "livenas-vet: warning: type errors above; results may be incomplete")
+	}
+
+	diags := analysis.Run(pkgs, checks)
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// filterPackages keeps packages matching the command-line patterns:
+// "./..." keeps everything, "./dir/..." a subtree, "./dir" one package.
+func filterPackages(pkgs []*analysis.Package, patterns []string, modPath string) []*analysis.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	keep := func(p *analysis.Package) bool {
+		for _, pat := range patterns {
+			pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+			if pat == "..." || pat == "." {
+				return true
+			}
+			if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+				prefix := modPath + "/" + sub
+				if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") {
+					return true
+				}
+				continue
+			}
+			if p.Path == modPath+"/"+pat || (pat == "" && p.Path == modPath) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "livenas-vet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,147 @@
+// Package analysis implements livenas-vet, the project-specific static
+// analyzer behind `go run ./cmd/livenas-vet ./...`.
+//
+// The analyzer is built only on the standard library (go/parser, go/ast,
+// go/types): it loads the whole module from source, type-checks it with a
+// recursive source importer, and runs a registry of checks that machine-
+// enforce the two invariants LiveNAS's correctness hangs on — deterministic
+// replay (no wall clock, no global rand in simulation/training code) and
+// safe sharing of the SR model between the trainer and the inference
+// processor — plus a handful of project-wide hygiene rules (discarded wire
+// write errors, lock/defer pairing, exhaustive message switches, float
+// precision churn in hot kernels). See DESIGN.md "Correctness tooling".
+//
+// A finding can be silenced in place with a directive comment:
+//
+//	//livenas:allow <check> optional free-text justification
+//
+// either on (or immediately above) the offending line, or in the doc
+// comment of a function to suppress the check for the whole function body.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// A Diagnostic is one finding of one check at one source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// A Check is one named analysis pass. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// AllChecks returns the full registry in stable order.
+func AllChecks() []*Check {
+	return []*Check{
+		UncheckedWrite,
+		Determinism,
+		MutexHygiene,
+		SwitchExhaustiveness,
+		HotLoopPrecision,
+	}
+}
+
+// CheckByName resolves a check by its registry name.
+func CheckByName(name string) *Check {
+	for _, c := range AllChecks() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Pass carries one package through one check and collects its findings.
+type Pass struct {
+	Check *Check
+	Fset  *token.FileSet
+	Pkg   *Package
+
+	supp  *suppressions
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.supp.suppressed(p.Check.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes checks over every package and returns the surviving
+// diagnostics sorted by file, line, column, then check name.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		supp := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, c := range checks {
+			c.Run(&Pass{Check: c, Fset: pkg.Fset, Pkg: pkg, supp: supp, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// hasSegment reports whether any "/"-separated segment of the import path
+// equals one of names. Package scoping (e.g. the determinism check applies
+// to internal/sim but not internal/frame) keys off path segments so fixture
+// packages under testdata can opt in by directory name.
+func hasSegment(path string, names ...string) bool {
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			seg := path[start:i]
+			for _, n := range names {
+				if seg == n {
+					return true
+				}
+			}
+			start = i + 1
+		}
+	}
+	return false
+}

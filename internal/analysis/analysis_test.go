@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureChecks pairs each check with its testdata fixture module. Every
+// fixture seeds violations (marked `// want <check>` on the flagged line)
+// and suppressed or out-of-scope instances (unmarked), so the test proves
+// both that the check fires and that //livenas:allow and package scoping
+// are honoured.
+var fixtureChecks = []struct {
+	dir   string
+	check string
+}{
+	{"uncheckedwrite", "unchecked-write"},
+	{"determinism", "determinism"},
+	{"mutexhygiene", "mutex-hygiene"},
+	{"exhaustive", "switch-exhaustiveness"},
+	{"hotloop", "hot-loop-precision"},
+}
+
+func loadFixture(t *testing.T, dir string) []*Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(token.NewFileSet(), root, "fix")
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", dir, e)
+		}
+	}
+	return pkgs
+}
+
+func TestChecksOnFixtures(t *testing.T) {
+	for _, tc := range fixtureChecks {
+		t.Run(tc.check, func(t *testing.T) {
+			check := CheckByName(tc.check)
+			if check == nil {
+				t.Fatalf("unknown check %q", tc.check)
+			}
+			pkgs := loadFixture(t, tc.dir)
+			got := map[string]bool{}
+			for _, d := range Run(pkgs, []*Check{check}) {
+				if d.Check != tc.check {
+					t.Errorf("diagnostic from wrong check: %s", d)
+				}
+				got[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+			}
+			want := collectWants(t, filepath.Join("testdata", "src", tc.dir), tc.check)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want markers", tc.dir)
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("expected a %s diagnostic at %s, got none", tc.check, k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected %s diagnostic at %s", tc.check, k)
+				}
+			}
+		})
+	}
+}
+
+// collectWants scans fixture sources for `// want <check>` markers and
+// returns the expected "file.go:line" set.
+func collectWants(t *testing.T, root, check string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, marker, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(marker)
+			if len(fields) == 0 || fields[0] != check {
+				t.Errorf("%s:%d: malformed want marker %q", path, line, marker)
+				continue
+			}
+			want[fmt.Sprintf("%s:%d", filepath.Base(path), line)] = true
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//livenas:allow determinism", []string{"determinism"}},
+		{"//livenas:allow determinism wall clock is the point here", []string{"determinism"}},
+		{"//livenas:allow mutex-hygiene,hot-loop-precision", []string{"mutex-hygiene", "hot-loop-precision"}},
+		{"// livenas:allow determinism", nil}, // directives take no space after //
+		{"//livenas:allow", nil},
+		{"// plain comment", nil},
+	}
+	for _, tc := range cases {
+		got := parseDirective(tc.text)
+		if len(got) != len(tc.want) {
+			t.Errorf("parseDirective(%q) = %v, want %v", tc.text, got, tc.want)
+			continue
+		}
+		for _, name := range tc.want {
+			if !got[name] {
+				t.Errorf("parseDirective(%q) missing %q", tc.text, name)
+			}
+		}
+	}
+}
+
+// TestRepoIsVetClean loads the real module and requires every check to
+// pass on it — the same gate `go run ./cmd/livenas-vet ./...` enforces,
+// wired into the ordinary test suite so tier-1 catches regressions.
+func TestRepoIsVetClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := FindModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(token.NewFileSet(), root, modPath)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	for _, d := range Run(pkgs, AllChecks()) {
+		t.Errorf("%s", d)
+	}
+}

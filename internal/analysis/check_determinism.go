@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces reproducible replay in the simulation and training
+// packages: every stochastic component must draw from an injected seeded
+// *rand.Rand and simulated time, never the global math/rand source or the
+// wall clock. It applies to internal/sim, internal/exp, internal/netem,
+// internal/core, internal/sr, and the cmd/ binaries (where the few
+// legitimate wall-clock sites carry //livenas:allow determinism).
+var Determinism = &Check{
+	Name: "determinism",
+	Doc: "wall clock (time.Now/Since/Until) or global math/rand use in " +
+		"deterministic-replay code; inject a seeded *rand.Rand / simulated " +
+		"clock, or annotate a legitimate wall-clock site with " +
+		"//livenas:allow determinism",
+	Run: runDeterminism,
+}
+
+// determinismScope names the path segments of packages that must replay
+// deterministically (plus cmd, where wall clock needs explicit opt-in).
+var determinismScope = []string{"sim", "exp", "netem", "core", "sr", "cmd"}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand top-level functions that build an
+// explicitly seeded generator rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !hasSegment(p.Pkg.Path, determinismScope...) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods (e.g. (*rand.Rand).Intn on an injected source)
+				// are exactly what this check steers code toward.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					p.Reportf(id.Pos(), "time.%s reads the wall clock; deterministic-replay code must use the injected simulated clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Reportf(id.Pos(), "%s.%s draws from the global rand source; use an injected seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

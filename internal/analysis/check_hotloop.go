@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotLoopPrecision flags float64⇄float32 conversions inside loops in the
+// numeric kernels (internal/nn, internal/sr). Each conversion in the
+// gradient and inference loops costs real time and silently changes
+// accumulation semantics; hoist the conversion out of the loop, keep the
+// arithmetic in one precision, or annotate a deliberately mixed-precision
+// loop with //livenas:allow hot-loop-precision.
+var HotLoopPrecision = &Check{
+	Name: "hot-loop-precision",
+	Doc: "float64⇄float32 conversion inside a loop in a numeric kernel " +
+		"package; hoist it, unify the precision, or annotate with " +
+		"//livenas:allow hot-loop-precision",
+	Run: runHotLoopPrecision,
+}
+
+// hotLoopScope names the path segments of the numeric kernel packages.
+var hotLoopScope = []string{"nn", "sr"}
+
+func runHotLoopPrecision(p *Pass) {
+	if !hasSegment(p.Pkg.Path, hotLoopScope...) {
+		return
+	}
+	// Nested loops revisit inner bodies; dedupe by position.
+	seen := map[token.Pos]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || seen[call.Pos()] {
+					return true
+				}
+				if from, to, ok := crossFloatConversion(p, call); ok {
+					seen[call.Pos()] = true
+					p.Reportf(call.Pos(), "%s→%s conversion inside a hot loop; hoist it or keep the arithmetic in one precision", from, to)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// crossFloatConversion reports whether call is a float64(float32-expr) or
+// float32(float64-expr) conversion of a non-constant operand.
+func crossFloatConversion(p *Pass, call *ast.CallExpr) (from, to string, ok bool) {
+	tv, found := p.Pkg.Info.Types[call.Fun]
+	if !found || !tv.IsType() {
+		return "", "", false
+	}
+	toKind, ok := floatKind(tv.Type)
+	if !ok {
+		return "", "", false
+	}
+	argTV, found := p.Pkg.Info.Types[call.Args[0]]
+	if !found || argTV.Value != nil { // constant conversions are free
+		return "", "", false
+	}
+	fromKind, ok := floatKind(argTV.Type)
+	if !ok || fromKind == toKind {
+		return "", "", false
+	}
+	return fromKind, toKind, true
+}
+
+func floatKind(t types.Type) (string, bool) {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch basic.Kind() {
+	case types.Float32:
+		return "float32", true
+	case types.Float64:
+		return "float64", true
+	}
+	return "", false
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexHygiene flags a sync.Mutex/RWMutex Lock or RLock statement that is
+// not immediately followed by the matching `defer Unlock` on the same
+// receiver. Manual unlock-on-every-path is how the trainer/processor model
+// sharing grows unlock-leak bugs under refactoring; the project convention
+// is lock-then-defer, with //livenas:allow mutex-hygiene for the rare
+// deliberate hand-over-hand pattern.
+var MutexHygiene = &Check{
+	Name: "mutex-hygiene",
+	Doc: "mu.Lock()/mu.RLock() not immediately followed by the matching " +
+		"defer mu.Unlock()/mu.RUnlock(); use lock-then-defer or annotate " +
+		"with //livenas:allow mutex-hygiene",
+	Run: runMutexHygiene,
+}
+
+// unlockFor maps a lock method to its required unlock counterpart.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runMutexHygiene(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				recv, lockName := mutexCall(p, st, "Lock", "RLock")
+				if lockName == "" {
+					continue
+				}
+				want := unlockFor[lockName]
+				if i+1 < len(block.List) {
+					if def, ok := block.List[i+1].(*ast.DeferStmt); ok {
+						if sel, ok := unparen(def.Call.Fun).(*ast.SelectorExpr); ok &&
+							sel.Sel.Name == want && types.ExprString(sel.X) == recv {
+							continue
+						}
+					}
+				}
+				p.Reportf(st.Pos(), "%s.%s() is not immediately followed by defer %s.%s()", recv, lockName, recv, want)
+			}
+			return true
+		})
+	}
+}
+
+// mutexCall reports the receiver expression and method name if st is a
+// bare call to one of the given sync.Mutex/RWMutex methods.
+func mutexCall(p *Pass, st ast.Stmt, names ...string) (recv, method string) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match || !isSyncMutex(p.Pkg.Info.TypeOf(sel.X)) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}

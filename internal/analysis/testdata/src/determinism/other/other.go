@@ -1,0 +1,6 @@
+// Package other is outside the determinism scope; nothing is flagged.
+package other
+
+import "time"
+
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,23 @@
+// Package sim sits inside the determinism scope (path segment "sim");
+// global rand and wall-clock reads are flagged here.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f(injected *rand.Rand) time.Duration {
+	_ = rand.Intn(4)      // want determinism
+	_ = rand.Float64()    // want determinism
+	start := time.Now()   // want determinism
+	_ = time.Since(start) // want determinism
+
+	r := rand.New(rand.NewSource(1)) // seeded constructors: ok
+	_ = r.Intn(4)                    // method on injected source: ok
+	_ = injected.Float64()           // ok
+
+	t0 := time.Now() //livenas:allow determinism fixture wall-clock site
+
+	return time.Until(t0.Add(time.Second)) // want determinism
+}

@@ -1,0 +1,42 @@
+// Package a exercises the switch-exhaustiveness check.
+package a
+
+type MsgType uint8
+
+const (
+	MsgHello MsgType = iota
+	MsgVideo
+	MsgPatch
+)
+
+func partial(t MsgType) {
+	switch t { // want switch-exhaustiveness
+	case MsgHello:
+	}
+}
+
+func full(t MsgType) {
+	switch t {
+	case MsgHello, MsgVideo:
+	case MsgPatch:
+	}
+}
+
+func withDefault(t MsgType) {
+	switch t {
+	case MsgVideo:
+	default:
+	}
+}
+
+func allowed(t MsgType) {
+	switch t { //livenas:allow switch-exhaustiveness partial by design
+	case MsgPatch:
+	}
+}
+
+func nonEnum(s string) {
+	switch s { // tag is not an enum type: ok
+	case "x":
+	}
+}

@@ -1,0 +1,48 @@
+// Package nn sits inside the numeric-kernel scope (path segment "nn");
+// cross-precision float conversions inside loops are flagged here.
+package nn
+
+func sum(xs []float32) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += float64(x) // want hot-loop-precision
+	}
+	return acc
+}
+
+func scale(xs []float32, f float64) {
+	f32 := float32(f) // hoisted conversion: ok
+	for i := range xs {
+		xs[i] *= f32
+		_ = float32(f) // want hot-loop-precision
+	}
+}
+
+func intsAndConsts(xs []float32) {
+	for i := range xs {
+		xs[i] += float32(i)   // int→float32: ok
+		xs[i] *= float32(1.5) // constant: ok
+	}
+}
+
+// deliberate keeps its accumulator in float64 on purpose; the directive in
+// this doc comment suppresses the check for the whole function.
+//
+//livenas:allow hot-loop-precision double-precision accumulation is deliberate
+func deliberate(xs []float32) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += float64(x) * float64(x)
+	}
+	return acc
+}
+
+func nested(m [][]float32) float64 {
+	var acc float64
+	for _, row := range m {
+		for _, v := range row {
+			acc += float64(v) // want hot-loop-precision
+		}
+	}
+	return acc
+}

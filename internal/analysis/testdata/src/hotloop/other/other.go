@@ -1,0 +1,10 @@
+// Package other is outside the numeric-kernel scope; nothing is flagged.
+package other
+
+func f(xs []float32) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += float64(x)
+	}
+	return acc
+}

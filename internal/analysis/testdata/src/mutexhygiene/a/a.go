@@ -1,0 +1,49 @@
+// Package a exercises the mutex-hygiene check.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *S) bad() {
+	s.mu.Lock() // want mutex-hygiene
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func (s *S) goodRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *S) mismatched() int {
+	s.rw.RLock() // want mutex-hygiene
+	defer s.rw.Unlock()
+	return s.n
+}
+
+func (s *S) lastStmt() {
+	s.mu.Lock() // want mutex-hygiene
+}
+
+func (s *S) allowed() {
+	s.mu.Lock() //livenas:allow mutex-hygiene hand-over-hand in the fixture
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) wrongReceiver(t *S) {
+	s.mu.Lock() // want mutex-hygiene
+	defer t.mu.Unlock()
+}

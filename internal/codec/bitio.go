@@ -82,6 +82,12 @@ type bitReader struct {
 func newBitReader(b []byte) *bitReader { return &bitReader{buf: b} }
 
 func (r *bitReader) readBits(n uint) (uint64, error) {
+	// The accumulator refills in whole bytes, so it can hold at most
+	// n+7 <= 63 bits during a read; larger requests would silently drop
+	// high bits. No codec symbol is wider than 33 bits (readUE).
+	if n > 56 {
+		return 0, errBitstream
+	}
 	for r.n < n {
 		if r.pos >= len(r.buf) {
 			return 0, errBitstream

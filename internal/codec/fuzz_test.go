@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBitReader exercises the entropy-coding layer both ways. Phase 1
+// interprets the fuzz input as a script of write operations, encodes them
+// with bitWriter, and requires the bitReader to return every value exactly.
+// Phase 2 points a reader at the raw fuzz bytes and drains it with the same
+// op script: every read must return a value or errBitstream — never panic,
+// never loop forever.
+func FuzzBitReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x10, 0x20, 0x40, 0x80})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x00}, 16)) // long zero runs stress readUE
+	{
+		// A genuine stream: values 0..7 as UE then as SE.
+		var w bitWriter
+		for i := 0; i < 8; i++ {
+			w.writeUE(uint32(i))
+			w.writeSE(int32(i - 4))
+		}
+		f.Add(w.finish())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Phase 1: write/read round trip driven by the input script. Each
+		// input byte picks an op and a value; values are widened with the
+		// byte's position so multi-byte symbols appear too.
+		type op struct {
+			kind int // 0 = raw bits, 1 = UE, 2 = SE
+			v    uint64
+			n    uint
+		}
+		var script []op
+		for i, b := range data {
+			o := op{kind: int(b % 3)}
+			raw := uint64(b)<<24 | uint64(i*2654435761)&0xFFFFFF
+			switch o.kind {
+			case 0:
+				o.n = uint(b%32) + 1
+				o.v = raw & (1<<o.n - 1)
+			case 1:
+				o.v = raw & 0x7FFFFFFF
+			case 2:
+				o.v = raw & 0xFFFF // keeps 2*v within int32
+			}
+			script = append(script, o)
+		}
+
+		var w bitWriter
+		for _, o := range script {
+			switch o.kind {
+			case 0:
+				w.writeBits(o.v, o.n)
+			case 1:
+				w.writeUE(uint32(o.v))
+			case 2:
+				w.writeSE(int32(o.v) - 0x8000)
+			}
+		}
+		r := newBitReader(w.finish())
+		for i, o := range script {
+			switch o.kind {
+			case 0:
+				got, err := r.readBits(o.n)
+				if err != nil {
+					t.Fatalf("op %d: readBits(%d): %v", i, o.n, err)
+				}
+				if got != o.v {
+					t.Fatalf("op %d: readBits(%d) = %d, want %d", i, o.n, got, o.v)
+				}
+			case 1:
+				got, err := r.readUE()
+				if err != nil {
+					t.Fatalf("op %d: readUE: %v", i, err)
+				}
+				if got != uint32(o.v) {
+					t.Fatalf("op %d: readUE = %d, want %d", i, got, o.v)
+				}
+			case 2:
+				want := int32(o.v) - 0x8000
+				got, err := r.readSE()
+				if err != nil {
+					t.Fatalf("op %d: readSE: %v", i, err)
+				}
+				if got != want {
+					t.Fatalf("op %d: readSE = %d, want %d", i, got, want)
+				}
+			}
+		}
+
+		// Phase 2: the raw fuzz bytes as an adversarial bitstream. Reads
+		// must fail cleanly on corrupt input; stop at the first error.
+		r = newBitReader(data)
+		for _, o := range script {
+			var err error
+			switch o.kind {
+			case 0:
+				_, err = r.readBits(o.n)
+			case 1:
+				_, err = r.readUE()
+			case 2:
+				_, err = r.readSE()
+			}
+			if err != nil {
+				break
+			}
+		}
+	})
+}

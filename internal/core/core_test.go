@@ -19,6 +19,38 @@ var (
 	sharedTrace *trace.Trace
 )
 
+// skipLongUnderRace exempts full-session quality tests from the -race tier:
+// their numeric assertions are covered by the plain `go test` tier, and the
+// detector's ~10x slowdown on the NN hot loops would push the suite past any
+// reasonable timeout. TestSessionConcurrencySmoke keeps the concurrent
+// session machinery under the detector instead.
+func skipLongUnderRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("full-session quality test: skipped under -race (see TestSessionConcurrencySmoke)")
+	}
+}
+
+// TestSessionConcurrencySmoke runs one short LiveNAS session with
+// multi-goroutine training and inference enabled, so `go test -race
+// ./internal/core` drives the trainer's shard goroutines and the
+// processor's strip goroutines through the real session loop. Assertions
+// are sanity-only; quality thresholds belong to the plain tier.
+func TestSessionConcurrencySmoke(t *testing.T) {
+	cfg := defaultTestConfig(vidgen.JustChatting)
+	cfg.Trace = trace.FCCUplink(19, time.Minute, 250)
+	cfg.Duration = 15 * time.Second
+	cfg.TrainGPUs = 2
+	cfg.InferGPUs = 2
+	r := Run(cfg)
+	if r.FramesDecoded == 0 {
+		t.Fatal("smoke session decoded no frames")
+	}
+	if r.GPUTrainBusy <= 0 {
+		t.Fatal("smoke session never trained")
+	}
+}
+
 func sharedRuns(t *testing.T) (*Results, *Results, *Results) {
 	t.Helper()
 	runOnce.Do(func() {
@@ -38,6 +70,7 @@ func sharedRuns(t *testing.T) (*Results, *Results, *Results) {
 }
 
 func TestLiveNASBeatsWebRTC(t *testing.T) {
+	skipLongUnderRace(t)
 	web, _, lnas := sharedRuns(t)
 	gain := lnas.GainOver(web)
 	if gain < 0.8 {
@@ -46,6 +79,7 @@ func TestLiveNASBeatsWebRTC(t *testing.T) {
 }
 
 func TestLiveNASBeatsGeneric(t *testing.T) {
+	skipLongUnderRace(t)
 	_, gen, lnas := sharedRuns(t)
 	if lnas.AvgPSNR <= gen.AvgPSNR {
 		t.Fatalf("LiveNAS %.2f dB should beat generic SR %.2f dB", lnas.AvgPSNR, gen.AvgPSNR)
@@ -53,6 +87,7 @@ func TestLiveNASBeatsGeneric(t *testing.T) {
 }
 
 func TestWebRTCSendsNoPatches(t *testing.T) {
+	skipLongUnderRace(t)
 	web, _, _ := sharedRuns(t)
 	if web.PatchesSent != 0 || web.BytesPatch != 0 || web.AvgPatchKbps != 0 {
 		t.Fatalf("WebRTC run sent patches: %+v", web.PatchesSent)
@@ -63,6 +98,7 @@ func TestWebRTCSendsNoPatches(t *testing.T) {
 }
 
 func TestLiveNASPatchShareModest(t *testing.T) {
+	skipLongUnderRace(t)
 	// §5.1 case study: ~8.9% of bandwidth went to patches on average. Ours
 	// should be a modest minority share, never the majority.
 	_, _, lnas := sharedRuns(t)
@@ -76,6 +112,7 @@ func TestLiveNASPatchShareModest(t *testing.T) {
 }
 
 func TestConservativeBandwidthUse(t *testing.T) {
+	skipLongUnderRace(t)
 	// §3: WebRTC uses well under the available bandwidth. Utilisation must
 	// be meaningfully below 1 and above a sanity floor.
 	web, _, _ := sharedRuns(t)
@@ -86,6 +123,7 @@ func TestConservativeBandwidthUse(t *testing.T) {
 }
 
 func TestQualityMonotoneWithBandwidth(t *testing.T) {
+	skipLongUnderRace(t)
 	// Fig 2b premise: more bandwidth, higher WebRTC quality.
 	run := func(scale float64) float64 {
 		cfg := defaultTestConfig(vidgen.FoodCooking)
@@ -101,6 +139,7 @@ func TestQualityMonotoneWithBandwidth(t *testing.T) {
 }
 
 func TestTimelineStartsTraining(t *testing.T) {
+	skipLongUnderRace(t)
 	_, _, lnas := sharedRuns(t)
 	if len(lnas.Timeline) == 0 || lnas.Timeline[0].State != "training" {
 		t.Fatalf("timeline %v should start in training", lnas.Timeline)
@@ -108,6 +147,7 @@ func TestTimelineStartsTraining(t *testing.T) {
 }
 
 func TestGPUBusyBounded(t *testing.T) {
+	skipLongUnderRace(t)
 	_, _, lnas := sharedRuns(t)
 	if lnas.GPUTrainBusy <= 0 {
 		t.Fatal("LiveNAS trained for zero time")
@@ -121,6 +161,7 @@ func TestGPUBusyBounded(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	skipLongUnderRace(t)
 	cfg := defaultTestConfig(vidgen.Podcast)
 	cfg.Trace = trace.FCCUplink(5, time.Minute, 200)
 	cfg.Duration = 20 * time.Second
@@ -132,6 +173,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestContinuousTrainsMoreThanAdaptive(t *testing.T) {
+	skipLongUnderRace(t)
 	// Fig 15: content-adaptive training uses a fraction of continuous GPU
 	// time. Use a low-scene-change category so saturation actually occurs.
 	mk := func(p TrainPolicy) *Results {
@@ -156,6 +198,7 @@ func TestContinuousTrainsMoreThanAdaptive(t *testing.T) {
 }
 
 func TestOneTimePolicyStopsTraining(t *testing.T) {
+	skipLongUnderRace(t)
 	cfg := defaultTestConfig(vidgen.Sports)
 	cfg.Trace = trace.FCCUplink(13, 2*time.Minute, 250)
 	cfg.TrainPolicy = TrainOneTime
@@ -168,6 +211,7 @@ func TestOneTimePolicyStopsTraining(t *testing.T) {
 }
 
 func TestVanillaFallbackUnderLowBandwidth(t *testing.T) {
+	skipLongUnderRace(t)
 	// §5.1: below the minimum encoding bitrate no patches are sent.
 	cfg := defaultTestConfig(vidgen.JustChatting)
 	cfg.Trace = trace.FCCUplink(17, time.Minute, 200).Scale(0.1) // ~20 kbps links
@@ -180,6 +224,7 @@ func TestVanillaFallbackUnderLowBandwidth(t *testing.T) {
 }
 
 func TestCodecAgnostic(t *testing.T) {
+	skipLongUnderRace(t)
 	// Fig 14: the gain exists under both codec profiles.
 	mk := func(s Scheme, prof codec.Profile) *Results {
 		cfg := defaultTestConfig(vidgen.JustChatting)
@@ -199,6 +244,7 @@ func TestCodecAgnostic(t *testing.T) {
 }
 
 func TestGradSeriesRecorded(t *testing.T) {
+	skipLongUnderRace(t)
 	_, _, lnas := sharedRuns(t)
 	if len(lnas.Grad) < 10 {
 		t.Fatalf("gradient series too short: %d", len(lnas.Grad))
@@ -255,6 +301,7 @@ func sharedTraceOr() *trace.Trace {
 }
 
 func TestFunctionalCodecMode(t *testing.T) {
+	skipLongUnderRace(t)
 	// §9 extension: the functional-codec probe replaces the normalized
 	// curve; the session must still work and reach comparable quality.
 	cfg := defaultTestConfig(vidgen.JustChatting)
@@ -273,6 +320,7 @@ func TestFunctionalCodecMode(t *testing.T) {
 }
 
 func TestDeblockPipeline(t *testing.T) {
+	skipLongUnderRace(t)
 	// The in-loop deblocking option must run end-to-end without drift
 	// (drift would show up as collapsing PSNR).
 	cfg := defaultTestConfig(vidgen.Podcast)
@@ -291,6 +339,7 @@ func TestDeblockPipeline(t *testing.T) {
 }
 
 func TestLossRecovery(t *testing.T) {
+	skipLongUnderRace(t)
 	// Under random packet loss the pipeline must lose frames, request key
 	// frames, and keep delivering video (the §7 WebRTC-integration path).
 	cfg := defaultTestConfig(vidgen.Sports)

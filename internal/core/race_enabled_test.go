@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled mirrors the -race build tag so the test suite can
+// swap its long session-quality runs for a concurrency smoke session when
+// the detector (which slows the NN hot loops ~10x) is active.
+const raceDetectorEnabled = true

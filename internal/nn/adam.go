@@ -20,6 +20,12 @@ func NewAdam(lr float64) *Adam {
 // Step applies one update to every parameter using its accumulated gradient.
 // params must be passed in a stable order across calls (moment state is
 // positional). Gradients are not cleared; callers use ZeroGrads.
+//
+// The moment math deliberately runs in float64 (float32 moment estimates
+// lose the small-gradient tail that makes Adam's bias correction work), so
+// the per-element float32⇄float64 round trips stay.
+//
+//livenas:allow hot-loop-precision double-precision moment math is intentional
 func (a *Adam) Step(params []Param) {
 	if a.m == nil {
 		a.m = make([][]float32, len(params))
@@ -35,12 +41,13 @@ func (a *Adam) Step(params []Param) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	b1, b2 := a.Beta1, a.Beta2
 	for i, p := range params {
 		m, v := a.m[i], a.v[i]
 		for j := range p.W {
 			g := float64(p.Grad[j])
-			mj := a.Beta1*float64(m[j]) + (1-a.Beta1)*g
-			vj := a.Beta2*float64(v[j]) + (1-a.Beta2)*g*g
+			mj := b1*float64(m[j]) + (1-b1)*g
+			vj := b2*float64(v[j]) + (1-b2)*g*g
 			m[j] = float32(mj)
 			v[j] = float32(vj)
 			mHat := mj / c1

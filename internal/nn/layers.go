@@ -30,7 +30,7 @@ func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
 	}
 	std := math.Sqrt(2.0 / float64(inC*k*k))
 	for i := range l.Weight {
-		l.Weight[i] = float32(rng.NormFloat64() * std)
+		l.Weight[i] = float32(rng.NormFloat64() * std) //livenas:allow hot-loop-precision one-time He init, not a hot path
 	}
 	return l
 }

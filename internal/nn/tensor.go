@@ -102,7 +102,7 @@ func MSELoss(pred, target *Tensor) (float64, *Tensor) {
 	var loss float64
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
-		loss += float64(d) * float64(d)
+		loss += float64(d) * float64(d) //livenas:allow hot-loop-precision float64 loss accumulator is intentional
 		grad.Data[i] = 2 * d / n
 	}
 	return loss / float64(n), grad

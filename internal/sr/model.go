@@ -8,6 +8,7 @@ package sr
 
 import (
 	"math/rand"
+	"sync"
 
 	"livenas/internal/frame"
 	"livenas/internal/nn"
@@ -23,12 +24,24 @@ const DefaultChannels = 8
 // initialised so an untrained model reproduces bilinear upsampling exactly —
 // which is why online gain starts at 0 dB and grows with training.
 //
-// A Model is not safe for concurrent use; Processor keeps per-GPU replicas.
+// A shared Model is synchronized through its internal lock: SuperResolve,
+// CopyWeightsFrom, Clone, and Save serialize against the trainer, which
+// holds the write lock for each optimiser step. One Trainer plus any number
+// of Processor.Sync / SuperResolve callers may therefore share a model (the
+// contract the -race stress tests in race_test.go pin down). The lock is
+// exclusive even for inference because a forward pass caches activations on
+// the layers. Direct Params access remains trainer-only.
 type Model struct {
 	Scale    int
 	Channels int
 	layers   []nn.Layer
 	params   []nn.Param
+
+	// mu guards the weights and the layers' forward/backward scratch
+	// state. The trainer write-locks it for the duration of a step;
+	// Processor.Sync read-locks the source model while copying weights
+	// out at epoch boundaries.
+	mu sync.RWMutex
 }
 
 // NewModel creates a model for the given integer scale factor (>= 1).
@@ -78,8 +91,24 @@ func (m *Model) Clone() *Model {
 
 // CopyWeightsFrom overwrites this model's weights with src's. The two models
 // must share architecture. This is the "inference process is synchronized"
-// step of §7 and the model-sync step of multi-GPU training.
+// step of §7 and the model-sync step of multi-GPU training. Weights must
+// flow in a consistent direction between any two models (trainer master →
+// inference replicas here); copying both ways concurrently would risk a
+// lock-order deadlock.
 func (m *Model) CopyWeightsFrom(src *Model) {
+	if m == src {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	m.copyWeights(src)
+}
+
+// copyWeights copies src's weights without locking; callers either hold
+// the necessary locks or exclusively own both models.
+func (m *Model) copyWeights(src *Model) {
 	if len(m.params) != len(src.params) {
 		panic("sr: CopyWeightsFrom architecture mismatch")
 	}
@@ -135,8 +164,11 @@ func FromTensor(t *nn.Tensor) *frame.Frame {
 }
 
 // SuperResolve upscales lr by the model's scale factor: bilinear skip plus
-// the learned residual.
+// the learned residual. The lock is exclusive (not shared) because the
+// forward pass caches activations on the layers for backward.
 func (m *Model) SuperResolve(lr *frame.Frame) *frame.Frame {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := m.Scale
 	up := lr.ResizeBilinear(lr.W*s, lr.H*s)
 	res := m.forward(ToTensor(lr))

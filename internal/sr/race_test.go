@@ -1,0 +1,118 @@
+package sr
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"livenas/internal/frame"
+)
+
+// These stress tests pin down the synchronization contract between online
+// training and inference on a shared model (DESIGN.md "Correctness
+// tooling"): one Trainer goroutine may run epochs while other goroutines
+// concurrently Sync processor replicas from the model, run processor
+// inference, super-resolve on the model directly, and snapshot it. They
+// are meaningful under `go test -race ./internal/sr` (part of
+// scripts/check.sh); without -race they still assert basic output sanity.
+
+func fillTestFrame(f *frame.Frame, seed int) {
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i*31 + seed)
+	}
+}
+
+func newStressTrainer(t *testing.T, model *Model) *Trainer {
+	t.Helper()
+	cfg := DefaultTrainConfig()
+	cfg.ItersPerEpoch = 4
+	cfg.Batch = 4
+	cfg.GPUs = 2
+	tr := NewTrainer(model, cfg, 3)
+	for i := 0; i < 12; i++ {
+		lr := frame.New(8, 8)
+		hr := frame.New(16, 16)
+		fillTestFrame(lr, i)
+		fillTestFrame(hr, i+1)
+		tr.AddSample(lr, hr)
+	}
+	return tr
+}
+
+func TestConcurrentTrainInferSync(t *testing.T) {
+	model := NewModel(2, 4, 1)
+	trainer := newStressTrainer(t, model)
+	proc := NewProcessor(model, 2, RTX2080Ti())
+
+	in := frame.New(24, 24)
+	fillTestFrame(in, 7)
+
+	const iters = 25
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // online training epochs (single trainer goroutine)
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			trainer.Epoch()
+		}
+	}()
+	go func() { // epoch-boundary weight sync into the processor replicas
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			proc.Sync(model)
+		}
+	}()
+	go func() { // strip-parallel inference on the processor
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			out, _ := proc.Process(in)
+			if out.W != in.W*2 || out.H != in.H*2 {
+				t.Errorf("Process returned %dx%d, want %dx%d", out.W, out.H, in.W*2, in.H*2)
+				return
+			}
+		}
+	}()
+	go func() { // direct inference on the shared training model
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			out := model.SuperResolve(in)
+			if out.W != in.W*2 || out.H != in.H*2 {
+				t.Errorf("SuperResolve returned %dx%d, want %dx%d", out.W, out.H, in.W*2, in.H*2)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestConcurrentSnapshotWhileTraining(t *testing.T) {
+	model := NewModel(2, 4, 1)
+	trainer := newStressTrainer(t, model)
+
+	const iters = 20
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			trainer.Epoch()
+		}
+	}()
+	go func() { // step-consistent snapshots via Save's read lock
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := model.Save(io.Discard); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // external replica pulls, as a persistent-model store would
+		defer wg.Done()
+		replica := model.Clone()
+		for i := 0; i < iters; i++ {
+			replica.CopyWeightsFrom(model)
+		}
+	}()
+	wg.Wait()
+}

@@ -25,8 +25,11 @@ const serializeVersion = 1
 // ErrBadModelFile reports a corrupt or incompatible model file.
 var ErrBadModelFile = errors.New("sr: bad model file")
 
-// Save writes the model's architecture and weights to w.
+// Save writes the model's architecture and weights to w. It read-locks the
+// model, so a snapshot taken mid-training is step-consistent.
 func (m *Model) Save(w io.Writer) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	hdr := []uint32{serializeMagic, serializeVersion, uint32(m.Scale), uint32(m.Channels)}
 	for _, v := range hdr {

@@ -79,7 +79,10 @@ type Sample struct {
 }
 
 // Trainer performs online training of a Model on an evolving patch dataset.
-// It is single-goroutine; the ingest server drives it from its event loop.
+// A Trainer's own methods are single-goroutine (the ingest server drives it
+// from its event loop), but the trained Model may be shared: each optimiser
+// step holds the model's write lock, so concurrent Processor.Sync and
+// SuperResolve callers on the same model are safe (see race_test.go).
 type Trainer struct {
 	Model *Model
 	cfg   TrainConfig
@@ -180,6 +183,14 @@ func (t *Trainer) step() float64 {
 	}
 	sortBySeq(idx, t.data)
 
+	// The shard phase runs forward/backward on the master (models[0]) and
+	// the update phase writes its weights; hold the master's write lock for
+	// the whole step so concurrent Processor.Sync / SuperResolve callers on
+	// the shared model always observe step-consistent weights (§7 "the
+	// inference process is synchronized").
+	t.Model.mu.Lock()
+	defer t.Model.mu.Unlock()
+
 	type shardResult struct {
 		loss   float64
 		weight float64
@@ -210,33 +221,48 @@ func (t *Trainer) step() float64 {
 		<-done
 	}
 
-	// Aggregate replica gradients into the master with shard weights.
+	// Aggregate replica gradients into the master with shard weights. The
+	// per-element arithmetic stays in float32: the float64 shard weights
+	// are folded into float32 scale factors once, outside the loops, so the
+	// gradient loop does no cross-precision conversion.
 	if g > 1 {
 		var wSum float64
 		for _, r := range results {
 			wSum += r.weight
 		}
-		master := t.Model.Params()
+		scale := make([]float32, g)
+		for si, r := range results {
+			scale[si] = float32(r.weight * float64(g) / wSum) //livenas:allow hot-loop-precision the fold itself; runs g≈2-4 times per step
+		}
+		grads := make([][]nn.Param, g)
+		for si, m := range models {
+			grads[si] = m.Params()
+		}
+		master := grads[0]
 		for pi := range master {
-			for j := range master[pi].Grad {
-				var acc float64
-				for si, m := range models {
-					acc += float64(m.Params()[pi].Grad[j]) * results[si].weight
+			dst := master[pi].Grad
+			for j := range dst {
+				var acc float32
+				for si := range grads {
+					acc += grads[si][pi].Grad[j] * scale[si]
 				}
-				master[pi].Grad[j] = float32(acc * float64(g) / wSum)
+				dst[j] = acc
 			}
 		}
 	}
 	// Normalise gradient by total sample count (losses were summed).
 	total := float64(perShard * g)
+	tot := float32(total)
 	for _, p := range t.Model.Params() {
 		for j := range p.Grad {
-			p.Grad[j] /= float32(total)
+			p.Grad[j] /= tot
 		}
 	}
 	t.opt.Step(t.Model.Params())
 	for _, r := range t.replicas {
-		r.CopyWeightsFrom(t.Model)
+		// Replicas are trainer-private and the master lock is already
+		// held, so copy without re-locking.
+		r.copyWeights(t.Model)
 	}
 
 	var loss float64

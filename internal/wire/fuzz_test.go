@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds returns valid encoded messages covering every message type,
+// used both whole and truncated as the seed corpus.
+func fuzzSeeds(t interface{ Fatalf(string, ...interface{}) }) [][]byte {
+	msgs := []*Message{
+		{Type: MsgHello, IngestW: 640, IngestH: 360, NativeW: 1280, NativeH: 720, FPS: 30},
+		{Type: MsgVideo, FrameID: 7, Key: true, QP: 24, Data: []byte{1, 2, 3, 4}},
+		{Type: MsgPatch, FrameID: 7, X: 64, Y: 128, Data: bytes.Repeat([]byte{0xAB}, 33)},
+		{Type: MsgStats, GainDB: 1.25, Epochs: 3, Samples: 150},
+		{Type: MsgBye},
+	}
+	var seeds [][]byte
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("seed encode: %v", err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+// FuzzWireRead feeds arbitrary bytes to Read. Read must return an error or
+// a message — never panic — and any message it accepts must survive a
+// Write/Read round trip unchanged.
+func FuzzWireRead(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+		if len(s) > 5 {
+			f.Add(s[:5])            // truncated header/body boundary
+			f.Add(s[:len(s)-1])     // truncated body
+			f.Add(append(s, s...))  // trailing garbage after a valid message
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // length prefix over maxMessage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("re-encode accepted message: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode own encoding: %v", err)
+		}
+		// gob does not distinguish nil from empty slices; normalise before
+		// comparing.
+		if len(m.Data) == 0 {
+			m.Data = nil
+		}
+		if len(m2.Data) == 0 {
+			m2.Data = nil
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", m2, m)
+		}
+	})
+}

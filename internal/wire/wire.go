@@ -72,8 +72,10 @@ func Write(w io.Writer, m *Message) error {
 	return err
 }
 
-// Read receives one message.
-func Read(r io.Reader) (*Message, error) {
+// Read receives one message. Malformed input from the peer yields an
+// error, never a panic: the decode step runs under recover because gob
+// is not hardened against adversarial bytes.
+func Read(r io.Reader) (m *Message, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -86,11 +88,16 @@ func Read(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
-	var m Message
-	if err := gob.NewDecoder(&byteReader{b: body}).Decode(&m); err != nil {
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("wire: decode: panic: %v", p)
+		}
+	}()
+	var msg Message
+	if err := gob.NewDecoder(&byteReader{b: body}).Decode(&msg); err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
-	return &m, nil
+	return &msg, nil
 }
 
 type lengthBuffer struct{ b []byte }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Pre-merge gate: build, vet (standard + project-specific), tests, race
+# tier, and a short fuzz pass. EXPERIMENTS.md results are only comparable
+# across commits that pass this script.
+#
+# FUZZTIME (default 10s) controls the per-target fuzz budget; set
+# FUZZTIME=0 to skip fuzzing (the seed corpora still run under go test).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== livenas-vet ./..."
+go run ./cmd/livenas-vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency tier)"
+go test -race ./internal/sr ./internal/wire ./internal/transport ./internal/core
+
+if [[ "$FUZZTIME" != "0" ]]; then
+    echo "== fuzz ($FUZZTIME per target)"
+    go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
+    go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec
+fi
+
+echo "== all checks passed"
