@@ -4,29 +4,40 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
-// HotLoopPrecision flags float64⇄float32 conversions inside loops in the
-// numeric kernels (internal/nn, internal/sr). Each conversion in the
-// gradient and inference loops costs real time and silently changes
-// accumulation semantics; hoist the conversion out of the loop, keep the
-// arithmetic in one precision, or annotate a deliberately mixed-precision
-// loop with //livenas:allow hot-loop-precision.
+// HotLoopPrecision flags two hot-loop anti-patterns in the numeric kernels:
+// float64⇄float32 conversions inside loops (internal/nn, internal/sr) and
+// per-element At/Set accessor calls inside loops (internal/nn only). Each
+// conversion in the gradient and inference loops costs real time and
+// silently changes accumulation semantics; per-element accessors redo full
+// index arithmetic that row-strided slice access amortises. Hoist the
+// conversion, keep the arithmetic in one precision, index the backing
+// slice by rows — or annotate a deliberate use with
+// //livenas:allow hot-loop-precision.
 var HotLoopPrecision = &Check{
 	Name: "hot-loop-precision",
-	Doc: "float64⇄float32 conversion inside a loop in a numeric kernel " +
-		"package; hoist it, unify the precision, or annotate with " +
+	Doc: "float64⇄float32 conversion or per-element At/Set accessor inside " +
+		"a loop in a numeric kernel package; hoist/unify the precision or " +
+		"use row-strided slice access, or annotate with " +
 		"//livenas:allow hot-loop-precision",
 	Run: runHotLoopPrecision,
 }
 
 // hotLoopScope names the path segments of the numeric kernel packages.
-var hotLoopScope = []string{"nn", "sr"}
+// atSetScope restricts the per-element-accessor rule to the tensor kernels,
+// where the At/Set methods live and every loop is a hot loop.
+var (
+	hotLoopScope = []string{"nn", "sr"}
+	atSetScope   = []string{"nn"}
+)
 
 func runHotLoopPrecision(p *Pass) {
 	if !hasSegment(p.Pkg.Path, hotLoopScope...) {
 		return
 	}
+	checkAtSet := hasSegment(p.Pkg.Path, atSetScope...)
 	// Nested loops revisit inner bodies; dedupe by position.
 	seen := map[token.Pos]bool{}
 	for _, f := range p.Pkg.Files {
@@ -42,18 +53,50 @@ func runHotLoopPrecision(p *Pass) {
 			}
 			ast.Inspect(body, func(m ast.Node) bool {
 				call, ok := m.(*ast.CallExpr)
-				if !ok || len(call.Args) != 1 || seen[call.Pos()] {
+				if !ok || seen[call.Pos()] {
 					return true
 				}
-				if from, to, ok := crossFloatConversion(p, call); ok {
-					seen[call.Pos()] = true
-					p.Reportf(call.Pos(), "%s→%s conversion inside a hot loop; hoist it or keep the arithmetic in one precision", from, to)
+				if len(call.Args) == 1 {
+					if from, to, ok := crossFloatConversion(p, call); ok {
+						seen[call.Pos()] = true
+						p.Reportf(call.Pos(), "%s→%s conversion inside a hot loop; hoist it or keep the arithmetic in one precision", from, to)
+						return true
+					}
+				}
+				if checkAtSet {
+					if name, ok := perElementAccessor(p, call); ok {
+						seen[call.Pos()] = true
+						p.Reportf(call.Pos(), "per-element %s call inside a hot loop; index the backing slice with row strides instead", name)
+					}
 				}
 				return true
 			})
 			return true
 		})
 	}
+}
+
+// perElementAccessor reports whether call is an At/Set method call on a
+// module-internal type (a per-element tensor accessor). Same-named methods
+// on stdlib or vendored types are not ours to police.
+func perElementAccessor(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "At" && name != "Set" {
+		return "", false
+	}
+	s, ok := p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	pkg := s.Obj().Pkg()
+	if pkg == nil || (pkg.Path() != p.Pkg.ModPath && !strings.HasPrefix(pkg.Path(), p.Pkg.ModPath+"/")) {
+		return "", false
+	}
+	return name, true
 }
 
 // crossFloatConversion reports whether call is a float64(float32-expr) or

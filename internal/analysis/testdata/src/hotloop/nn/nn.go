@@ -46,3 +46,42 @@ func nested(m [][]float32) float64 {
 	}
 	return acc
 }
+
+// Tensor mimics the real nn.Tensor: a module-internal type with per-element
+// accessors. Calling them inside a loop redoes full index arithmetic per
+// sample and is flagged; row-strided slice access is the replacement.
+type Tensor struct {
+	H, W int
+	Data []float32
+}
+
+func (t *Tensor) At(y, x int) float32     { return t.Data[y*t.W+x] }
+func (t *Tensor) Set(y, x int, v float32) { t.Data[y*t.W+x] = v }
+
+func copyPerElement(dst, src *Tensor) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			dst.Set(y, x, src.At(y, x)) // want hot-loop-precision
+		}
+	}
+}
+
+func copyRows(dst, src *Tensor) {
+	v := src.At(0, 0) // outside a loop: ok
+	dst.Set(0, 0, v)
+	for y := 0; y < src.H; y++ {
+		copy(dst.Data[y*dst.W:(y+1)*dst.W], src.Data[y*src.W:(y+1)*src.W]) // row-strided: ok
+	}
+}
+
+// referencePath keeps the per-element accessors on purpose (e.g. a retained
+// scalar baseline); the directive suppresses the check.
+//
+//livenas:allow hot-loop-precision scalar reference path kept as baseline
+func referencePath(dst, src *Tensor) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			dst.Set(y, x, src.At(y, x))
+		}
+	}
+}

@@ -8,3 +8,19 @@ func f(xs []float32) float64 {
 	}
 	return acc
 }
+
+// Grid has At/Set accessors too, but this package is outside the tensor-
+// kernel scope, so calling them in a loop is not flagged.
+type Grid struct {
+	W   int
+	Pix []float32
+}
+
+func (g *Grid) At(y, x int) float32     { return g.Pix[y*g.W+x] }
+func (g *Grid) Set(y, x int, v float32) { g.Pix[y*g.W+x] = v }
+
+func blit(dst, src *Grid, n int) {
+	for i := 0; i < n; i++ {
+		dst.Set(0, i, src.At(0, i))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/netem"
+	"livenas/internal/nn"
 	"livenas/internal/sim"
 	"livenas/internal/sr"
 	"livenas/internal/transport"
@@ -126,6 +127,16 @@ func genericModel(scale, channels int) *sr.Model {
 	return m.Clone()
 }
 
+// kernelPool returns the nn worker pool for a session's models: the
+// process-wide shared pool by default, or a dedicated pool when the config
+// sizes one explicitly.
+func kernelPool(cfg Config) *nn.Pool {
+	if cfg.KernelWorkers > 0 {
+		return nn.NewPool(cfg.KernelWorkers)
+	}
+	return nn.SharedPool()
+}
+
 // pretrainOnSession trains model on a previous session of the same streamer
 // (the Pretrained baseline of §8.1 and the warm start of persistent
 // learning, §6.1).
@@ -188,11 +199,16 @@ func newServer(s *sim.Simulator, cfg Config, notify func(serverMsg)) *server {
 		// No DNN at all.
 	case SchemeGeneric:
 		sv.model = sv.initModel.Clone()
+		sv.model.SetKernelPool(kernelPool(cfg))
 	case SchemePretrained:
 		sv.model = sv.initModel.Clone()
+		sv.model.SetKernelPool(kernelPool(cfg))
 		pretrainOnSession(sv.model, cfg)
 	case SchemeLiveNAS:
 		sv.model = sv.initModel.Clone()
+		// Configure the pool before trainer/processor construction so the
+		// data-parallel replicas they clone inherit it.
+		sv.model.SetKernelPool(kernelPool(cfg))
 		if cfg.Persistent {
 			pretrainOnSession(sv.model, cfg)
 		}

@@ -8,7 +8,10 @@
 // luma metrics, which matches the paper's methodology up to a constant.
 package frame
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // PatchSize is the side length, in pixels, of a LiveNAS training patch
 // (§5.2: "LiveNAS client sends training patches of size 120x120 pixels").
@@ -97,10 +100,63 @@ func clamp8(v float64) uint8 {
 	}
 }
 
+// resizeTabs is the per-call scratch of ResizeBilinear: one coefficient
+// table per output column and per output row. The backing arrays are
+// recycled through a sync.Pool so steady-state resizes (every frame, every
+// patch) do not allocate; the coefficients themselves are recomputed per
+// call with arithmetic identical to the original per-pixel computation, so
+// outputs are bit-for-bit unchanged.
+type resizeTabs struct {
+	x0, x1 []int
+	fx     []float64
+	y0, y1 []int
+	fy     []float64
+}
+
+var resizePool = sync.Pool{New: func() any { return new(resizeTabs) }}
+
+func (t *resizeTabs) ensure(w, h int) {
+	if cap(t.x0) < w {
+		t.x0 = make([]int, w)
+		t.x1 = make([]int, w)
+		t.fx = make([]float64, w)
+	}
+	t.x0, t.x1, t.fx = t.x0[:w], t.x1[:w], t.fx[:w]
+	if cap(t.y0) < h {
+		t.y0 = make([]int, h)
+		t.y1 = make([]int, h)
+		t.fy = make([]float64, h)
+	}
+	t.y0, t.y1, t.fy = t.y0[:h], t.y1[:h], t.fy[:h]
+}
+
+// fillAxis computes the half-pixel-centred source index pair and blend
+// fraction for each of n output positions along an axis of srcN samples.
+func fillAxis(i0, i1 []int, fr []float64, n, srcN int) {
+	scale := float64(srcN) / float64(n)
+	for i := 0; i < n; i++ {
+		src := (float64(i)+0.5)*scale - 0.5
+		p0 := int(src)
+		if src < 0 {
+			src, p0 = 0, 0
+		}
+		fr[i] = src - float64(p0)
+		p1 := p0 + 1
+		if p1 >= srcN {
+			p1 = srcN - 1
+		}
+		i0[i], i1[i] = p0, p1
+	}
+}
+
 // ResizeBilinear rescales f to w x h using bilinear interpolation with
 // half-pixel-centred sample positions (the convention used by video scalers,
 // so that down-then-up round trips are alignment-free). It is the "bilinear
 // up-sampling" baseline the paper compares DNN super-resolution against.
+//
+// Source indices and blend fractions are precomputed once per output row
+// and column instead of once per pixel, so the inner loop is three fused
+// lerps over table lookups.
 func (f *Frame) ResizeBilinear(w, h int) *Frame {
 	out := New(w, h)
 	if f.W == 0 || f.H == 0 || w == 0 || h == 0 {
@@ -110,37 +166,23 @@ func (f *Frame) ResizeBilinear(w, h int) *Frame {
 		copy(out.Pix, f.Pix)
 		return out
 	}
-	xScale := float64(f.W) / float64(w)
-	yScale := float64(f.H) / float64(h)
+	t := resizePool.Get().(*resizeTabs)
+	t.ensure(w, h)
+	fillAxis(t.x0, t.x1, t.fx, w, f.W)
+	fillAxis(t.y0, t.y1, t.fy, h, f.H)
 	for y := 0; y < h; y++ {
-		srcY := (float64(y)+0.5)*yScale - 0.5
-		y0 := int(srcY)
-		if srcY < 0 {
-			srcY, y0 = 0, 0
-		}
-		fy := srcY - float64(y0)
-		y1 := y0 + 1
-		if y1 >= f.H {
-			y1 = f.H - 1
-		}
-		row0 := f.Pix[y0*f.W:]
-		row1 := f.Pix[y1*f.W:]
-		for x := 0; x < w; x++ {
-			srcX := (float64(x)+0.5)*xScale - 0.5
-			x0 := int(srcX)
-			if srcX < 0 {
-				srcX, x0 = 0, 0
-			}
-			fx := srcX - float64(x0)
-			x1 := x0 + 1
-			if x1 >= f.W {
-				x1 = f.W - 1
-			}
+		row0 := f.Pix[t.y0[y]*f.W:]
+		row1 := f.Pix[t.y1[y]*f.W:]
+		fy := t.fy[y]
+		orow := out.Pix[y*w : y*w+w]
+		for x := range orow {
+			x0, x1, fx := t.x0[x], t.x1[x], t.fx[x]
 			top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
 			bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
-			out.Pix[y*w+x] = clamp8(top*(1-fy) + bot*fy)
+			orow[x] = clamp8(top*(1-fy) + bot*fy)
 		}
 	}
+	resizePool.Put(t)
 	return out
 }
 

@@ -1,0 +1,106 @@
+package nn
+
+import "sync"
+
+// Arena is a free-list allocator for tensors and raw float32 scratch
+// buffers. The SR hot path — model forward, trainer step, strip-split
+// inference — allocates the same handful of shapes every frame and every
+// minibatch; recycling them through an arena makes steady-state epochs and
+// frames allocate (almost) nothing, which is where most of the seed
+// implementation's wall-clock went.
+//
+// Ownership rules (see DESIGN.md "Kernel engine"):
+//
+//   - A tensor obtained from Get/GetBuf is owned by the caller until it is
+//     handed back with Put/PutBuf. Handing it back transfers ownership to
+//     the arena; the caller must not retain a reference past that point.
+//   - Arena memory is NOT zeroed on Get. Every kernel in this package
+//     writes its full output (GEMM conv, pixel-shuffle, MSE gradient), so
+//     callers that need cleared memory must call Zero explicitly.
+//   - Anything that must outlive a training step or an inference call
+//     (weights, samples, returned frames) is allocated normally, never
+//     from an arena.
+//
+// An Arena is safe for concurrent use; the per-model arenas are shared by
+// that model's pool tasks and gradient contexts.
+type Arena struct {
+	mu      sync.Mutex
+	tensors map[int][]*Tensor
+	bufs    map[int][][]float32
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{tensors: map[int][]*Tensor{}, bufs: map[int][][]float32{}}
+}
+
+// Get returns a (c, h, w) tensor, reusing a retired one of the same element
+// count when available. Contents are unspecified; see the zeroing rule above.
+func (a *Arena) Get(c, h, w int) *Tensor {
+	if a == nil {
+		return NewTensor(c, h, w)
+	}
+	if t := a.popTensor(c * h * w); t != nil {
+		t.C, t.H, t.W = c, h, w
+		return t
+	}
+	return NewTensor(c, h, w)
+}
+
+func (a *Arena) popTensor(n int) *Tensor {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := a.tensors[n]
+	if len(free) == 0 {
+		return nil
+	}
+	t := free[len(free)-1]
+	a.tensors[n] = free[:len(free)-1]
+	return t
+}
+
+// Put returns a tensor to the arena. nil tensors and nil arenas are no-ops,
+// so release paths need no conditionals.
+func (a *Arena) Put(t *Tensor) {
+	if a == nil || t == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(t.Data)
+	a.tensors[n] = append(a.tensors[n], t)
+}
+
+// GetBuf returns a float32 scratch buffer of exactly n elements with
+// unspecified contents.
+func (a *Arena) GetBuf(n int) []float32 {
+	if a == nil {
+		return make([]float32, n)
+	}
+	if b := a.popBuf(n); b != nil {
+		return b
+	}
+	return make([]float32, n)
+}
+
+func (a *Arena) popBuf(n int) []float32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := a.bufs[n]
+	if len(free) == 0 {
+		return nil
+	}
+	b := free[len(free)-1]
+	a.bufs[n] = free[:len(free)-1]
+	return b
+}
+
+// PutBuf returns a scratch buffer to the arena.
+func (a *Arena) PutBuf(b []float32) {
+	if a == nil || b == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bufs[len(b)] = append(a.bufs[len(b)], b)
+}

@@ -1,0 +1,93 @@
+package nn
+
+// Scalar reference convolution kernels. This is the seed implementation's
+// nested tap loop, retained verbatim as the ground truth the GEMM engine is
+// differentially tested against (kernel_test.go asserts the GEMM forward is
+// bit-identical and gradients agree to 1e-5) and as the baseline side of
+// the tracked kernel benchmarks (scripts/bench.sh).
+//
+// One deliberate change from the seed: the forward's `if wv == 0
+// { continue }` tap skip is gone. It made compute cost data-dependent —
+// zero-initialised final layers trained "for free" until their weights
+// moved — which skewed calibration against sr.Device's virtual clock,
+// whose charges are by nominal MACs. Both paths now always perform the
+// nominal MAC count. (Adding a wv==0 tap contributes wv*x == ±0, which
+// cannot change any sum, so removing the skip does not change results.)
+
+// convRefForward computes the convolution of x into out (both preallocated,
+// out fully overwritten) with the scalar tap loop.
+func convRefForward(l *Conv2D, x, out *Tensor) {
+	h, w := x.H, x.W
+	pad := l.K / 2
+	for oc := 0; oc < l.OutC; oc++ {
+		bias := l.Bias[oc]
+		dst := out.Data[oc*h*w : (oc+1)*h*w]
+		for i := range dst {
+			dst[i] = bias
+		}
+		for ic := 0; ic < l.InC; ic++ {
+			src := x.Data[ic*h*w : (ic+1)*h*w]
+			wbase := ((oc*l.InC + ic) * l.K) * l.K
+			for ky := 0; ky < l.K; ky++ {
+				dy := ky - pad
+				for kx := 0; kx < l.K; kx++ {
+					dx := kx - pad
+					wv := l.Weight[wbase+ky*l.K+kx]
+					// Valid overlap rows/cols for this kernel tap.
+					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
+					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					for y := y0; y < y1; y++ {
+						srow := src[(y+dy)*w:]
+						drow := dst[y*w:]
+						for xx := x0; xx < x1; xx++ {
+							drow[xx] += wv * srow[xx+dx]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// convRefBackward accumulates parameter gradients into gradW/gradB and
+// writes the input gradient into dIn (preallocated and zeroed) with the
+// scalar tap loop.
+func convRefBackward(l *Conv2D, x, dOut, dIn *Tensor) {
+	h, w := x.H, x.W
+	pad := l.K / 2
+	for oc := 0; oc < l.OutC; oc++ {
+		g := dOut.Data[oc*h*w : (oc+1)*h*w]
+		// Bias gradient.
+		var gb float32
+		for _, v := range g {
+			gb += v
+		}
+		l.gradB[oc] += gb
+		for ic := 0; ic < l.InC; ic++ {
+			src := x.Data[ic*h*w : (ic+1)*h*w]
+			din := dIn.Data[ic*h*w : (ic+1)*h*w]
+			wbase := ((oc*l.InC + ic) * l.K) * l.K
+			for ky := 0; ky < l.K; ky++ {
+				dy := ky - pad
+				for kx := 0; kx < l.K; kx++ {
+					dx := kx - pad
+					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
+					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					var gw float32
+					wv := l.Weight[wbase+ky*l.K+kx]
+					for y := y0; y < y1; y++ {
+						srow := src[(y+dy)*w:]
+						drow := din[(y+dy)*w:]
+						grow := g[y*w:]
+						for xx := x0; xx < x1; xx++ {
+							gv := grow[xx]
+							gw += gv * srow[xx+dx]
+							drow[xx+dx] += gv * wv
+						}
+					}
+					l.gradW[wbase+ky*l.K+kx] += gw
+				}
+			}
+		}
+	}
+}

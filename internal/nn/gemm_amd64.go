@@ -1,0 +1,30 @@
+//go:build amd64
+
+package nn
+
+// kern4x8 computes, for r in 0..3 and j in 0..7,
+//
+//	c[r*cn+j] = bias[r] + Σ_{p<kk} a[p*4+r] * b[p*bn+j]
+//
+// with the sum of every element accumulated in ascending p order using
+// element-wise SSE2 MULPS/ADDPS (no FMA), matching scalar float32 rounding
+// exactly. a is a packed [kk][4] A tile (packA4); b and c are row-major
+// with strides bn and cn elements.
+//
+//go:noescape
+func kern4x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32, cn int)
+
+// kern1x8 computes c[j] = bias[0] + Σ_{p<kk} a[p] * b[p*bn+j] for j in
+// 0..7, the single-row variant of kern4x8 used for the m-tail of
+// gemmConvBias. a is a contiguous (unpacked) A row; accumulation is
+// element-wise in ascending p order, bit-identical to the scalar path.
+//
+//go:noescape
+func kern1x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32)
+
+// kernDot4 computes out[r] = Σ_{p<n} g[p] * b[r*bn+p] for r in 0..3, where
+// n is a multiple of 4, as four interleaved lane partials per row reduced
+// as (l0+l2)+(l1+l3). gemmDotRows's scalar fallback mirrors that order.
+//
+//go:noescape
+func kernDot4(n int, gv *float32, b *float32, bn int, out *float32)

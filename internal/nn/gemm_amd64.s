@@ -1,0 +1,221 @@
+// SSE2 micro-kernels for the nn kernel engine. Element-wise MULPS/ADDPS
+// only — no FMA — so every output element sees the same float32 rounding
+// as the scalar reference (vector lanes are independent IEEE operations).
+// SSE2 is part of the amd64 baseline, so no feature detection is needed.
+
+#include "textflag.h"
+
+// func kern4x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32, cn int)
+//
+// 4 output rows × 8 columns. Accumulators start at the broadcast bias and
+// add one ascending-p term at a time:
+//   X0,X1: row 0 cols 0-3, 4-7    X4,X5: row 2
+//   X2,X3: row 1                  X6,X7: row 3
+TEXT ·kern4x8(SB), NOSPLIT, $0-56
+	MOVQ kk+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ bn+24(FP), DX
+	MOVQ bias+32(FP), R8
+	MOVQ c+40(FP), DI
+	MOVQ cn+48(FP), R9
+	SHLQ $2, DX              // B row stride in bytes
+	SHLQ $2, R9              // C row stride in bytes
+
+	MOVSS  0(R8), X0
+	SHUFPS $0x00, X0, X0
+	MOVAPS X0, X1
+	MOVSS  4(R8), X2
+	SHUFPS $0x00, X2, X2
+	MOVAPS X2, X3
+	MOVSS  8(R8), X4
+	SHUFPS $0x00, X4, X4
+	MOVAPS X4, X5
+	MOVSS  12(R8), X6
+	SHUFPS $0x00, X6, X6
+	MOVAPS X6, X7
+
+	TESTQ CX, CX
+	JLE   k4x8done
+
+k4x8loop:
+	MOVUPS 0(BX), X8         // B[p][0..3]
+	MOVUPS 16(BX), X9        // B[p][4..7]
+	MOVUPS 0(SI), X10        // packed A[p][0..3]
+
+	MOVAPS X10, X11
+	SHUFPS $0x00, X11, X11   // broadcast A[p][0]
+	MOVAPS X11, X12
+	MULPS  X8, X11
+	ADDPS  X11, X0
+	MULPS  X9, X12
+	ADDPS  X12, X1
+
+	MOVAPS X10, X11
+	SHUFPS $0x55, X11, X11   // A[p][1]
+	MOVAPS X11, X12
+	MULPS  X8, X11
+	ADDPS  X11, X2
+	MULPS  X9, X12
+	ADDPS  X12, X3
+
+	MOVAPS X10, X11
+	SHUFPS $0xAA, X11, X11   // A[p][2]
+	MOVAPS X11, X12
+	MULPS  X8, X11
+	ADDPS  X11, X4
+	MULPS  X9, X12
+	ADDPS  X12, X5
+
+	SHUFPS $0xFF, X10, X10   // A[p][3]
+	MOVAPS X10, X12
+	MULPS  X8, X10
+	ADDPS  X10, X6
+	MULPS  X9, X12
+	ADDPS  X12, X7
+
+	ADDQ $16, SI
+	ADDQ DX, BX
+	DECQ CX
+	JNZ  k4x8loop
+
+k4x8done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	ADDQ   R9, DI
+	MOVUPS X2, 0(DI)
+	MOVUPS X3, 16(DI)
+	ADDQ   R9, DI
+	MOVUPS X4, 0(DI)
+	MOVUPS X5, 16(DI)
+	ADDQ   R9, DI
+	MOVUPS X6, 0(DI)
+	MOVUPS X7, 16(DI)
+	RET
+
+// func kern1x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32)
+//
+// Single output row × 8 columns, for the m-tail of gemmConvBias. Same
+// ascending-p element-wise accumulation as kern4x8; a is the unpacked
+// (contiguous) A row.
+TEXT ·kern1x8(SB), NOSPLIT, $0-48
+	MOVQ kk+0(FP), CX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ bn+24(FP), DX
+	MOVQ bias+32(FP), R8
+	MOVQ c+40(FP), DI
+	SHLQ $2, DX              // B row stride in bytes
+
+	MOVSS  0(R8), X0         // broadcast bias into both accumulators
+	SHUFPS $0x00, X0, X0
+	MOVAPS X0, X1
+
+	TESTQ CX, CX
+	JLE   k1x8done
+
+k1x8loop:
+	MOVSS  0(SI), X4         // broadcast a[p]
+	SHUFPS $0x00, X4, X4
+	MOVUPS 0(BX), X8         // B[p][0..3]
+	MOVUPS 16(BX), X9        // B[p][4..7]
+	MOVAPS X4, X5
+	MULPS  X8, X4
+	ADDPS  X4, X0
+	MULPS  X9, X5
+	ADDPS  X5, X1
+
+	ADDQ $4, SI
+	ADDQ DX, BX
+	DECQ CX
+	JNZ  k1x8loop
+
+k1x8done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	RET
+
+// func kernDot4(n int, gv *float32, b *float32, bn int, out *float32)
+//
+// out[r] = Σ_{p<n} g[p]*b[r*bn+p], r in 0..3, n a multiple of 4. Four lane
+// partials per row, reduced as (l0+l2)+(l1+l3) — gemmDotRows mirrors this
+// order in its scalar fallback.
+TEXT ·kernDot4(SB), NOSPLIT, $0-40
+	MOVQ n+0(FP), CX
+	MOVQ gv+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ bn+24(FP), DX
+	MOVQ out+32(FP), DI
+	SHLQ $2, DX              // row stride in bytes
+
+	MOVQ BX, R10             // row pointers
+	MOVQ BX, R11
+	ADDQ DX, R11
+	MOVQ R11, R12
+	ADDQ DX, R12
+	MOVQ R12, R13
+	ADDQ DX, R13
+
+	XORPS X0, X0             // lane accumulators per row
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+	SHRQ  $2, CX             // n/4 vector steps
+	TESTQ CX, CX
+	JLE   dot4done
+
+dot4loop:
+	MOVUPS 0(SI), X4         // g[p..p+3]
+
+	MOVUPS 0(R10), X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+	MOVUPS 0(R11), X5
+	MULPS  X4, X5
+	ADDPS  X5, X1
+	MOVUPS 0(R12), X5
+	MULPS  X4, X5
+	ADDPS  X5, X2
+	MOVUPS 0(R13), X5
+	MULPS  X4, X5
+	ADDPS  X5, X3
+
+	ADDQ $16, SI
+	ADDQ $16, R10
+	ADDQ $16, R11
+	ADDQ $16, R12
+	ADDQ $16, R13
+	DECQ CX
+	JNZ  dot4loop
+
+dot4done:
+	// Reduce each accumulator as (l0+l2)+(l1+l3).
+	MOVHLPS X0, X5           // X5[0,1] = X0[2,3]
+	ADDPS   X0, X5           // [l0+l2, l1+l3, ...]
+	MOVAPS  X5, X6
+	SHUFPS  $0x55, X6, X6
+	ADDSS   X6, X5
+	MOVSS   X5, 0(DI)
+
+	MOVHLPS X1, X5
+	ADDPS   X1, X5
+	MOVAPS  X5, X6
+	SHUFPS  $0x55, X6, X6
+	ADDSS   X6, X5
+	MOVSS   X5, 4(DI)
+
+	MOVHLPS X2, X5
+	ADDPS   X2, X5
+	MOVAPS  X5, X6
+	SHUFPS  $0x55, X6, X6
+	ADDSS   X6, X5
+	MOVSS   X5, 8(DI)
+
+	MOVHLPS X3, X5
+	ADDPS   X3, X5
+	MOVAPS  X5, X6
+	SHUFPS  $0x55, X6, X6
+	ADDSS   X6, X5
+	MOVSS   X5, 12(DI)
+	RET

@@ -1,0 +1,56 @@
+//go:build !amd64
+
+package nn
+
+import "unsafe"
+
+// Pure-Go fallbacks for the SSE2 micro-kernels. Semantics match the
+// assembly exactly: per-element ascending-p accumulation in kern4x8 (so
+// the GEMM conv stays bit-identical to convRef on every architecture) and
+// the (l0+l2)+(l1+l3) lane reduction in kernDot4.
+
+func kern4x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32, cn int) {
+	as := unsafe.Slice(a, kk*4)
+	bs := unsafe.Slice(b, (kk-1)*bn+8)
+	bi := unsafe.Slice(bias, 4)
+	cs := unsafe.Slice(c, 3*cn+8)
+	for r := 0; r < 4; r++ {
+		for j := 0; j < 8; j++ {
+			s := bi[r]
+			for p := 0; p < kk; p++ {
+				s += as[p*4+r] * bs[p*bn+j]
+			}
+			cs[r*cn+j] = s
+		}
+	}
+}
+
+func kern1x8(kk int, a *float32, b *float32, bn int, bias *float32, c *float32) {
+	as := unsafe.Slice(a, kk)
+	bs := unsafe.Slice(b, (kk-1)*bn+8)
+	cs := unsafe.Slice(c, 8)
+	for j := 0; j < 8; j++ {
+		s := *bias
+		for p := 0; p < kk; p++ {
+			s += as[p] * bs[p*bn+j]
+		}
+		cs[j] = s
+	}
+}
+
+func kernDot4(n int, gv *float32, b *float32, bn int, out *float32) {
+	gs := unsafe.Slice(gv, n)
+	bs := unsafe.Slice(b, 3*bn+n)
+	os := unsafe.Slice(out, 4)
+	for r := 0; r < 4; r++ {
+		row := bs[r*bn : r*bn+n]
+		var l0, l1, l2, l3 float32
+		for p := 0; p+4 <= n; p += 4 {
+			l0 += gs[p] * row[p]
+			l1 += gs[p+1] * row[p+1]
+			l2 += gs[p+2] * row[p+2]
+			l3 += gs[p+3] * row[p+3]
+		}
+		os[r] = (l0 + l2) + (l1 + l3)
+	}
+}

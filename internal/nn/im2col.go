@@ -1,0 +1,100 @@
+package nn
+
+// im2col packs rows [y0, y1) of a (inC, h, w) channel-major tensor for a
+// k×k stride-1 "same"-padded convolution into dst, as a matrix with
+// inC*k*k rows and (y1-y0)*w columns:
+//
+//	dst[((ic*k+ky)*k+kx)*n + (y-y0)*w + x] = src[ic][y+ky-pad][x+kx-pad]
+//
+// (zero outside the image), where n = (y1-y0)*w. Ascending row index is
+// exactly the (ic, ky, kx) tap order of the scalar reference kernel, which
+// is what keeps the GEMM path's per-element accumulation order — and hence
+// its float32 rounding — bit-identical to convRef.
+//
+// With flip set the tap offsets are negated (dy = pad-ky, dx = pad-kx):
+// packing the output gradient this way turns the input-gradient computation
+// into the same GEMM shape with a transposed, tap-flipped weight matrix.
+//
+// Each matrix row is one shifted copy of an image row strip, so the packing
+// runs at copy speed rather than per-element gather speed.
+func im2col(src []float32, inC, h, w, k, y0, y1 int, flip bool, dst []float32) {
+	pad := k / 2
+	n := (y1 - y0) * w
+	for ic := 0; ic < inC; ic++ {
+		ch := src[ic*h*w : (ic+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			dy := ky - pad
+			if flip {
+				dy = -dy
+			}
+			for kx := 0; kx < k; kx++ {
+				dx := kx - pad
+				if flip {
+					dx = -dx
+				}
+				row := dst[((ic*k+ky)*k+kx)*n : ((ic*k+ky)*k+kx)*n+n]
+				packShifted(ch, h, w, y0, y1, dy, dx, row)
+			}
+		}
+	}
+}
+
+// packShifted writes src shifted by (dy, dx) over rows [y0, y1) into dst,
+// zero-filling samples that fall outside the image.
+func packShifted(src []float32, h, w, y0, y1, dy, dx int, dst []float32) {
+	for y := y0; y < y1; y++ {
+		drow := dst[(y-y0)*w : (y-y0)*w+w]
+		sy := y + dy
+		if sy < 0 || sy >= h {
+			for i := range drow {
+				drow[i] = 0
+			}
+			continue
+		}
+		srow := src[sy*w : sy*w+w]
+		switch {
+		case dx == 0:
+			copy(drow, srow)
+		case dx > 0:
+			// Sample (x+dx) for x in [0, w-dx); right edge is padding.
+			if dx >= w {
+				for i := range drow {
+					drow[i] = 0
+				}
+				continue
+			}
+			copy(drow[:w-dx], srow[dx:])
+			for i := w - dx; i < w; i++ {
+				drow[i] = 0
+			}
+		default: // dx < 0: left edge is padding.
+			if -dx >= w {
+				for i := range drow {
+					drow[i] = 0
+				}
+				continue
+			}
+			for i := 0; i < -dx; i++ {
+				drow[i] = 0
+			}
+			copy(drow[-dx:], srow[:w+dx])
+		}
+	}
+}
+
+// convBlockRows picks the row-block height for an image of width w so one
+// packed im2col panel (kk rows × blockRows*w columns) stays cache-resident.
+// The value depends only on the shape, never on the machine or pool size,
+// so block boundaries — and therefore gradient fold order — are
+// reproducible everywhere.
+func convBlockRows(w, h int) int {
+	const targetCols = 2048 // ~8 KB per panel row: L1-friendly at kk≈72
+	rows := targetCols / w
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > h {
+		rows = h
+	}
+	return rows
+}

@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel engine's correctness contract (DESIGN.md "Kernel engine"):
+// the GEMM forward is bit-identical to the scalar reference for every
+// shape, gradients agree within 1e-5, and results are bit-identical across
+// pool sizes. These tests check randomized shapes; the fuzz targets below
+// extend the same differential checks to fuzzer-chosen shapes and data.
+
+func randTensor(c, h, w int, rng *rand.Rand) *Tensor {
+	t := NewTensor(c, h, w)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func randShape(rng *rand.Rand) (inC, outC, k, h, w int) {
+	return 1 + rng.Intn(9), 1 + rng.Intn(9), 1 + 2*rng.Intn(3), 1 + rng.Intn(40), 1 + rng.Intn(40)
+}
+
+// diffConv runs one differential forward/backward comparison on the given
+// shape and fails the test on any mismatch.
+func diffConv(t *testing.T, inC, outC, k, h, w int, pool *Pool, arena *Arena, rng *rand.Rand) {
+	t.Helper()
+	l := NewConv2D(inC, outC, k, rng)
+	x := randTensor(inC, h, w, rng)
+	dOut := randTensor(outC, h, w, rng)
+
+	// Scalar reference pass.
+	SetRefKernels(true)
+	want := l.Forward(x)
+	wantDIn := l.Backward(dOut)
+	wantGW := append([]float32(nil), l.gradW...)
+	wantGB := append([]float32(nil), l.gradB...)
+	SetRefKernels(false)
+
+	// Kernel-engine pass on fresh gradient accumulators.
+	for i := range l.gradW {
+		l.gradW[i] = 0
+	}
+	for i := range l.gradB {
+		l.gradB[i] = 0
+	}
+	l.SetKernelContext(arena, pool)
+	got := l.Forward(x)
+	gotDIn := l.Backward(dOut)
+
+	for i := range want.Data {
+		if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+			t.Fatalf("conv %dx%d k%d %dx%d: forward[%d] not bit-identical: ref %g (%#08x) gemm %g (%#08x)",
+				inC, outC, k, h, w, i,
+				want.Data[i], math.Float32bits(want.Data[i]),
+				got.Data[i], math.Float32bits(got.Data[i]))
+		}
+	}
+	// Gradients tolerate reassociated accumulation (block partials, lane
+	// splits): require relative-L2 agreement, ||got-ref|| <= 1e-5*(1+||ref||).
+	checkClose := func(name string, ref, got []float32) {
+		t.Helper()
+		var dd, rr float64
+		for i := range ref {
+			d := float64(ref[i]) - float64(got[i])
+			dd += d * d
+			rr += float64(ref[i]) * float64(ref[i])
+		}
+		if math.Sqrt(dd) > 1e-5*(1+math.Sqrt(rr)) {
+			t.Fatalf("conv %dx%d k%d %dx%d: %s differs from ref: ||diff|| %g vs ||ref|| %g",
+				inC, outC, k, h, w, name, math.Sqrt(dd), math.Sqrt(rr))
+		}
+	}
+	checkClose("dIn", wantDIn.Data, gotDIn.Data)
+	checkClose("gradW", wantGW, l.gradW)
+	checkClose("gradB", wantGB, l.gradB)
+
+	arena.Put(got)
+	arena.Put(gotDIn)
+}
+
+func TestConvGEMMMatchesRef(t *testing.T) {
+	defer SetRefKernels(false)
+	rng := rand.New(rand.NewSource(42))
+	pool := NewPool(3)
+	arena := NewArena()
+	for trial := 0; trial < 50; trial++ {
+		inC, outC, k, h, w := randShape(rng)
+		diffConv(t, inC, outC, k, h, w, pool, arena, rng)
+	}
+	// Shapes chosen to hit every edge path: single pixel, single row/column,
+	// width below and above the micro-kernel's 8-column tile, multi-block
+	// heights, and kernels wider than the image.
+	for _, s := range [][5]int{
+		{1, 1, 1, 1, 1},
+		{1, 1, 3, 1, 1},
+		{2, 3, 5, 2, 2},
+		{3, 5, 3, 1, 40},
+		{5, 3, 3, 40, 1},
+		{4, 4, 3, 7, 7},
+		{1, 4, 3, 8, 8},
+		{8, 8, 3, 33, 9},
+		{3, 2, 5, 3, 3},
+		{6, 7, 1, 12, 31},
+	} {
+		diffConv(t, s[0], s[1], s[2], s[3], s[4], pool, arena, rng)
+	}
+}
+
+// TestConvDeterministicAcrossPoolSizes pins the determinism argument: block
+// partitioning depends only on shape, so any pool size — including the
+// inline pool — produces bit-identical outputs and gradients.
+func TestConvDeterministicAcrossPoolSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		inC, outC, k, h, w := randShape(rng)
+		h, w = h+24, w+60 // large enough that convBlockRows yields several blocks
+		l := NewConv2D(inC, outC, k, rng)
+		x := randTensor(inC, h, w, rng)
+		dOut := randTensor(outC, h, w, rng)
+
+		type result struct {
+			out, dIn     []float32
+			gradW, gradB []float32
+		}
+		run := func(pool *Pool) result {
+			for i := range l.gradW {
+				l.gradW[i] = 0
+			}
+			for i := range l.gradB {
+				l.gradB[i] = 0
+			}
+			l.SetKernelContext(NewArena(), pool)
+			out := l.Forward(x)
+			dIn := l.Backward(dOut)
+			return result{
+				out:   append([]float32(nil), out.Data...),
+				dIn:   append([]float32(nil), dIn.Data...),
+				gradW: append([]float32(nil), l.gradW...),
+				gradB: append([]float32(nil), l.gradB...),
+			}
+		}
+		base := run(nil)
+		for _, workers := range []int{2, 5} {
+			got := run(NewPool(workers))
+			for name, pair := range map[string][2][]float32{
+				"out":   {base.out, got.out},
+				"dIn":   {base.dIn, got.dIn},
+				"gradW": {base.gradW, got.gradW},
+				"gradB": {base.gradB, got.gradB},
+			} {
+				for i := range pair[0] {
+					if math.Float32bits(pair[0][i]) != math.Float32bits(pair[1][i]) {
+						t.Fatalf("pool size %d: %s[%d] differs from inline result: %g vs %g",
+							workers, name, i, pair[1][i], pair[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReLUAndPixelShuffleMatchRef checks the in-place/stride-copy paths
+// against the seed implementations they replaced.
+func TestReLUAndPixelShuffleMatchRef(t *testing.T) {
+	defer SetRefKernels(false)
+	rng := rand.New(rand.NewSource(3))
+	arena := NewArena()
+	for trial := 0; trial < 20; trial++ {
+		c, h, w := 1+rng.Intn(6), 1+rng.Intn(20), 1+rng.Intn(20)
+
+		r := &ReLU{}
+		x := randTensor(c, h, w, rng)
+		d := randTensor(c, h, w, rng)
+		SetRefKernels(true)
+		wantF := r.Forward(x)
+		wantB := r.Backward(d)
+		SetRefKernels(false)
+		x2, d2 := x.Clone(), d.Clone()
+		gotF := r.Forward(x2)
+		gotB := r.Backward(d2)
+		for i := range wantF.Data {
+			if wantF.Data[i] != gotF.Data[i] || wantB.Data[i] != gotB.Data[i] {
+				t.Fatalf("ReLU mismatch at %d", i)
+			}
+		}
+
+		s := 1 + rng.Intn(3)
+		ps := &PixelShuffle{S: s}
+		ps.SetKernelContext(arena, nil)
+		in := randTensor(c*s*s, h, w, rng)
+		dHR := randTensor(c, h*s, w*s, rng)
+		SetRefKernels(true)
+		wantPF := ps.Forward(in)
+		wantPB := ps.Backward(dHR)
+		SetRefKernels(false)
+		gotPF := ps.Forward(in)
+		gotPB := ps.Backward(dHR)
+		for i := range wantPF.Data {
+			if wantPF.Data[i] != gotPF.Data[i] {
+				t.Fatalf("PixelShuffle forward mismatch at %d", i)
+			}
+		}
+		for i := range wantPB.Data {
+			if wantPB.Data[i] != gotPB.Data[i] {
+				t.Fatalf("PixelShuffle backward mismatch at %d", i)
+			}
+		}
+		arena.Put(gotPF)
+		arena.Put(gotPB)
+	}
+}
+
+func TestPoolRunCoversAllIndicesNested(t *testing.T) {
+	p := NewPool(4)
+	outer := make([]int, 16)
+	p.Run(len(outer), func(i int) {
+		inner := make([]int32, 8)
+		// Nested Run from inside a pool task must not deadlock: the
+		// caller-helps fork-join drains its own index space.
+		p.Run(len(inner), func(j int) { inner[j]++ })
+		s := 0
+		for _, v := range inner {
+			s += int(v)
+		}
+		outer[i] = s
+	})
+	for i, v := range outer {
+		if v != 8 {
+			t.Fatalf("outer[%d] = %d, want 8", i, v)
+		}
+	}
+}
+
+func TestArenaReusesExactSizes(t *testing.T) {
+	a := NewArena()
+	t1 := a.Get(2, 3, 4)
+	a.Put(t1)
+	t2 := a.Get(4, 3, 2) // same element count, different shape
+	if &t2.Data[0] != &t1.Data[0] {
+		t.Fatal("arena did not reuse the retired tensor of equal element count")
+	}
+	if t2.C != 4 || t2.H != 3 || t2.W != 2 {
+		t.Fatalf("reused tensor has stale shape (%d,%d,%d)", t2.C, t2.H, t2.W)
+	}
+	b := a.GetBuf(128)
+	a.PutBuf(b)
+	if b2 := a.GetBuf(128); &b2[0] != &b[0] {
+		t.Fatal("arena did not reuse the retired buffer")
+	}
+}
+
+// FuzzConvForwardGEMM extends the differential check to fuzzer-chosen
+// shapes and seeds: forward must stay bit-identical to the scalar
+// reference, gradients within 1e-5.
+func FuzzConvForwardGEMM(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(1), uint8(9), uint8(11), int64(5))
+	f.Add(uint8(3), uint8(3), uint8(2), uint8(39), uint8(2), int64(99))
+	f.Add(uint8(7), uint8(0), uint8(0), uint8(0), uint8(0), int64(-1))
+	pool := NewPool(2)
+	arena := NewArena()
+	f.Fuzz(func(t *testing.T, inCRaw, outCRaw, kRaw, hRaw, wRaw uint8, seed int64) {
+		defer SetRefKernels(false)
+		inC := 1 + int(inCRaw)%9
+		outC := 1 + int(outCRaw)%9
+		k := 1 + 2*(int(kRaw)%3)
+		h := 1 + int(hRaw)%40
+		w := 1 + int(wRaw)%40
+		rng := rand.New(rand.NewSource(seed))
+		diffConv(t, inC, outC, k, h, w, pool, arena, rng)
+	})
+}

@@ -5,15 +5,57 @@ import (
 	"math/rand"
 )
 
+// KernelConfigurable is implemented by layers that run on the kernel engine
+// (arena-recycled tensors, pooled row-block parallelism). Model owners call
+// SetKernelContext once at construction; layers with a nil arena/pool fall
+// back to plain allocation and inline execution.
+type KernelConfigurable interface {
+	SetKernelContext(a *Arena, p *Pool)
+}
+
+// ConfigureKernels applies an arena/pool pair to every layer that supports
+// the kernel engine.
+func ConfigureKernels(layers []Layer, a *Arena, p *Pool) {
+	for _, l := range layers {
+		if kc, ok := l.(KernelConfigurable); ok {
+			kc.SetKernelContext(a, p)
+		}
+	}
+}
+
 // Conv2D is a 2-D convolution with odd square kernels, stride 1 and "same"
 // zero padding. Weight layout: [outC][inC][K][K].
+//
+// The forward/backward hot path is im2col + register-blocked GEMM (gemm.go,
+// im2col.go), row-blocked so the packed panel stays cache-resident and
+// parallelized across blocks on the kernel pool. The scalar reference path
+// (conv_ref.go) remains selectable via SetRefKernels for differential tests
+// and as the tracked benchmark baseline; the GEMM forward is bit-identical
+// to it by construction.
 type Conv2D struct {
 	InC, OutC, K int
 	Weight       []float32
 	Bias         []float32
 	gradW        []float32
 	gradB        []float32
+	params       []Param // cached Params() result; built at construction
 	lastIn       *Tensor
+	arena        *Arena
+	pool         *Pool
+
+	// fwdTask/bwdTask are the block workers submitted to pool.Run. They are
+	// bound once (method values allocate a closure) in SetKernelContext so
+	// the steady-state hot path allocates nothing; per-call state travels
+	// through the run struct, valid only while forwardGEMM/backwardGEMM is
+	// on the stack. A Conv2D instance runs one pass at a time (lastIn
+	// already implies this); parallel samples use CloneShared instances.
+	fwdTask func(int)
+	bwdTask func(int)
+	run     struct {
+		x, out, dOut, dIn *Tensor
+		br                int
+		a2, zb, partial   []float32
+	}
 }
 
 // NewConv2D creates a convolution with He-normal initialised weights.
@@ -32,6 +74,8 @@ func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
 	for i := range l.Weight {
 		l.Weight[i] = float32(rng.NormFloat64() * std) //livenas:allow hot-loop-precision one-time He init, not a hot path
 	}
+	l.params = []Param{{W: l.Weight, Grad: l.gradW}, {W: l.Bias, Grad: l.gradB}}
+	l.SetKernelContext(nil, nil) // nil-safe defaults: inline pool, allocating arena
 	return l
 }
 
@@ -46,10 +90,33 @@ func (l *Conv2D) ZeroInit() {
 	}
 }
 
-// Params implements Layer.
-func (l *Conv2D) Params() []Param {
-	return []Param{{W: l.Weight, Grad: l.gradW}, {W: l.Bias, Grad: l.gradB}}
+// SetKernelContext implements KernelConfigurable.
+func (l *Conv2D) SetKernelContext(a *Arena, p *Pool) {
+	l.arena, l.pool = a, p
+	l.fwdTask = l.forwardBlock
+	l.bwdTask = l.backwardBlock
 }
+
+// CloneShared returns a Conv2D sharing this layer's weight and bias slices
+// (live, not snapshotted) but owning private gradient accumulators and
+// input cache. The trainer builds one such clone chain per minibatch sample
+// so sample gradients can be computed in parallel and then folded in fixed
+// sample order. The clone shares the arena (mutex-protected) and pool.
+func (l *Conv2D) CloneShared() *Conv2D {
+	c := &Conv2D{
+		InC: l.InC, OutC: l.OutC, K: l.K,
+		Weight: l.Weight, Bias: l.Bias,
+		gradW: make([]float32, len(l.gradW)),
+		gradB: make([]float32, len(l.gradB)),
+	}
+	c.params = []Param{{W: c.Weight, Grad: c.gradW}, {W: c.Bias, Grad: c.gradB}}
+	c.SetKernelContext(l.arena, l.pool)
+	return c
+}
+
+// Params implements Layer. The returned slice is cached and shared; callers
+// read and write the gradient contents but must not reslice it.
+func (l *Conv2D) Params() []Param { return l.params }
 
 // Forward implements Layer.
 func (l *Conv2D) Forward(x *Tensor) *Tensor {
@@ -57,97 +124,199 @@ func (l *Conv2D) Forward(x *Tensor) *Tensor {
 		panic("nn: Conv2D input channel mismatch")
 	}
 	l.lastIn = x
-	h, w := x.H, x.W
-	out := NewTensor(l.OutC, h, w)
-	pad := l.K / 2
-	for oc := 0; oc < l.OutC; oc++ {
-		bias := l.Bias[oc]
-		dst := out.Data[oc*h*w : (oc+1)*h*w]
-		for i := range dst {
-			dst[i] = bias
-		}
-		for ic := 0; ic < l.InC; ic++ {
-			src := x.Data[ic*h*w : (ic+1)*h*w]
-			wbase := ((oc*l.InC + ic) * l.K) * l.K
-			for ky := 0; ky < l.K; ky++ {
-				dy := ky - pad
-				for kx := 0; kx < l.K; kx++ {
-					dx := kx - pad
-					wv := l.Weight[wbase+ky*l.K+kx]
-					if wv == 0 {
-						continue
-					}
-					// Valid overlap rows/cols for this kernel tap.
-					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
-					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
-					for y := y0; y < y1; y++ {
-						srow := src[(y+dy)*w:]
-						drow := dst[y*w:]
-						for xx := x0; xx < x1; xx++ {
-							drow[xx] += wv * srow[xx+dx]
-						}
-					}
-				}
-			}
-		}
+	if RefKernels() {
+		// The reference path allocates per call, like the seed
+		// implementation it benchmarks as.
+		out := NewTensor(l.OutC, x.H, x.W)
+		convRefForward(l, x, out)
+		return out
 	}
+	out := l.arena.Get(l.OutC, x.H, x.W)
+	l.forwardGEMM(x, out)
 	return out
+}
+
+// forwardGEMM computes the convolution block-by-block: each row block is
+// im2col-packed and multiplied against the weight matrix. Block boundaries
+// come from convBlockRows (shape-derived), so the partition — and with it
+// the result — is independent of pool size.
+func (l *Conv2D) forwardGEMM(x, out *Tensor) {
+	l.run.x, l.run.out = x, out
+	l.run.br = convBlockRows(x.W, x.H)
+	nb := (x.H + l.run.br - 1) / l.run.br
+	l.pool.Run(nb, l.fwdTask)
+	l.run.x, l.run.out = nil, nil
+}
+
+// forwardBlock is the pooled per-block worker for forwardGEMM.
+func (l *Conv2D) forwardBlock(bi int) {
+	x, out := l.run.x, l.run.out
+	h, w := x.H, x.W
+	kk := l.InC * l.K * l.K
+	y0 := bi * l.run.br
+	y1 := minInt(y0+l.run.br, h)
+	n := (y1 - y0) * w
+	pack := l.arena.GetBuf(kk * n)
+	apack := l.arena.GetBuf(4 * kk)
+	im2col(x.Data, l.InC, h, w, l.K, y0, y1, false, pack)
+	gemmConvBias(l.Weight, l.Bias, pack, l.OutC, kk, n, out.Data[y0*w:], h*w, apack)
+	l.arena.PutBuf(apack)
+	l.arena.PutBuf(pack)
 }
 
 // Backward implements Layer.
 func (l *Conv2D) Backward(dOut *Tensor) *Tensor {
 	x := l.lastIn
-	h, w := x.H, x.W
-	pad := l.K / 2
-	dIn := NewTensor(l.InC, h, w)
-	for oc := 0; oc < l.OutC; oc++ {
-		g := dOut.Data[oc*h*w : (oc+1)*h*w]
-		// Bias gradient.
-		var gb float32
-		for _, v := range g {
-			gb += v
-		}
-		l.gradB[oc] += gb
-		for ic := 0; ic < l.InC; ic++ {
-			src := x.Data[ic*h*w : (ic+1)*h*w]
-			din := dIn.Data[ic*h*w : (ic+1)*h*w]
-			wbase := ((oc*l.InC + ic) * l.K) * l.K
-			for ky := 0; ky < l.K; ky++ {
-				dy := ky - pad
-				for kx := 0; kx < l.K; kx++ {
-					dx := kx - pad
-					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
-					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
-					var gw float32
-					wv := l.Weight[wbase+ky*l.K+kx]
-					for y := y0; y < y1; y++ {
-						srow := src[(y+dy)*w:]
-						drow := din[(y+dy)*w:]
-						grow := g[y*w:]
-						for xx := x0; xx < x1; xx++ {
-							gv := grow[xx]
-							gw += gv * srow[xx+dx]
-							drow[xx+dx] += gv * wv
-						}
-					}
-					l.gradW[wbase+ky*l.K+kx] += gw
-				}
-			}
-		}
+	if RefKernels() {
+		dIn := NewTensor(l.InC, x.H, x.W) // zeroed: ref path accumulates
+		convRefBackward(l, x, dOut, dIn)
+		return dIn
 	}
+	dIn := l.arena.Get(l.InC, x.H, x.W)
+	l.backwardGEMM(x, dOut, dIn)
 	return dIn
 }
 
-// ReLU is the rectified-linear activation.
+// backwardGEMM computes all three gradients with the same block structure
+// as the forward:
+//
+//   - dIn is a convolution of dOut with the tap-flipped, transposed weight
+//     matrix (im2col with flip=true), so it reuses the bit-exact forward
+//     micro-kernel unchanged.
+//   - gradW accumulates per-block partials dOut·packᵀ (kernDot4), written
+//     to disjoint per-block buffers by the pool tasks and folded into the
+//     gradient accumulator in ascending block order afterwards — the fold
+//     order is fixed by shape, so gradients are deterministic for any pool
+//     size.
+//   - gradB is a cheap sequential per-channel reduction of dOut, summed in
+//     the same order as the scalar reference.
+func (l *Conv2D) backwardGEMM(x, dOut, dIn *Tensor) {
+	h, w := x.H, x.W
+	k := l.K
+	kk := l.InC * k * k
+	kk2 := l.OutC * k * k
+	br := convBlockRows(w, h)
+	nb := (h + br - 1) / br
+
+	// Transposed, per-output-channel weight matrix for the input gradient:
+	// a2[ic][(oc*K+ky)*K+kx] = Weight[oc][ic][ky][kx]. The tap flip lives in
+	// the im2col sampling, not here.
+	a2 := l.arena.GetBuf(l.InC * kk2)
+	for ic := 0; ic < l.InC; ic++ {
+		for oc := 0; oc < l.OutC; oc++ {
+			src := l.Weight[((oc*l.InC+ic)*k)*k : ((oc*l.InC+ic)*k+k)*k]
+			copy(a2[ic*kk2+oc*k*k:ic*kk2+(oc+1)*k*k], src)
+		}
+	}
+	zb := l.arena.GetBuf(l.InC)
+	for i := range zb {
+		zb[i] = 0
+	}
+	partial := l.arena.GetBuf(nb * l.OutC * kk)
+
+	l.run.x, l.run.dOut, l.run.dIn = x, dOut, dIn
+	l.run.br, l.run.a2, l.run.zb, l.run.partial = br, a2, zb, partial
+	l.pool.Run(nb, l.bwdTask)
+	l.run.x, l.run.dOut, l.run.dIn = nil, nil, nil
+	l.run.a2, l.run.zb, l.run.partial = nil, nil, nil
+
+	for bi := 0; bi < nb; bi++ {
+		part := partial[bi*l.OutC*kk : (bi+1)*l.OutC*kk]
+		for i, v := range part {
+			l.gradW[i] += v
+		}
+	}
+	l.arena.PutBuf(partial)
+	l.arena.PutBuf(zb)
+	l.arena.PutBuf(a2)
+
+	for oc := 0; oc < l.OutC; oc++ {
+		var gb float32
+		for _, v := range dOut.Data[oc*h*w : (oc+1)*h*w] {
+			gb += v
+		}
+		l.gradB[oc] += gb
+	}
+}
+
+// backwardBlock is the pooled per-block worker for backwardGEMM.
+func (l *Conv2D) backwardBlock(bi int) {
+	x, dOut, dIn := l.run.x, l.run.dOut, l.run.dIn
+	h, w := x.H, x.W
+	k := l.K
+	kk := l.InC * k * k
+	kk2 := l.OutC * k * k
+	y0 := bi * l.run.br
+	y1 := minInt(y0+l.run.br, h)
+	n := (y1 - y0) * w
+
+	// Weight-gradient partial for this block: part[oc][kidx] =
+	// Σ_p dOut[oc][block p] * pack[kidx][p].
+	pack := l.arena.GetBuf(kk * n)
+	im2col(x.Data, l.InC, h, w, k, y0, y1, false, pack)
+	part := l.run.partial[bi*l.OutC*kk : (bi+1)*l.OutC*kk]
+	for oc := 0; oc < l.OutC; oc++ {
+		gv := dOut.Data[oc*h*w+y0*w : oc*h*w+y0*w+n]
+		for r := 0; r < kk; r += 4 {
+			gemmDotRows(gv, pack, n, r, minInt(4, kk-r), part[oc*kk+r:])
+		}
+	}
+	l.arena.PutBuf(pack)
+
+	// Input-gradient block: conv of dOut with flipped transposed taps.
+	pack2 := l.arena.GetBuf(kk2 * n)
+	apack := l.arena.GetBuf(4 * kk2)
+	im2col(dOut.Data, l.OutC, h, w, k, y0, y1, true, pack2)
+	gemmConvBias(l.run.a2, l.run.zb, pack2, l.InC, kk2, n, dIn.Data[y0*w:], h*w, apack)
+	l.arena.PutBuf(apack)
+	l.arena.PutBuf(pack2)
+}
+
+// ReLU is the rectified-linear activation. The hot path is fully in place:
+// Forward zeroes negatives directly in its input tensor and records the
+// sign pattern in a packed bitset; Backward masks the incoming gradient in
+// place. Neither direction allocates in steady state.
 type ReLU struct {
-	mask []bool
+	bits []uint64
+	mask []bool // scalar reference path only
 }
 
 // Params implements Layer.
 func (r *ReLU) Params() []Param { return nil }
 
+// SetKernelContext implements KernelConfigurable. ReLU operates in place,
+// so it only exists to satisfy the interface uniformly.
+func (r *ReLU) SetKernelContext(a *Arena, p *Pool) {}
+
+// CloneShared returns a fresh ReLU for a per-sample gradient context.
+func (r *ReLU) CloneShared() *ReLU { return &ReLU{} }
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
+	if RefKernels() {
+		return r.forwardRef(x)
+	}
+	nb := (len(x.Data) + 63) / 64
+	if cap(r.bits) < nb {
+		r.bits = make([]uint64, nb)
+	}
+	r.bits = r.bits[:nb]
+	for i := range r.bits {
+		r.bits[i] = 0
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			r.bits[i>>6] |= 1 << (i & 63)
+		} else {
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
+// forwardRef is the seed implementation: clone the input and keep a []bool
+// mask. Retained as the benchmark baseline behind SetRefKernels.
+func (r *ReLU) forwardRef(x *Tensor) *Tensor {
 	out := x.Clone()
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
@@ -166,24 +335,43 @@ func (r *ReLU) Forward(x *Tensor) *Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dOut *Tensor) *Tensor {
-	dIn := dOut.Clone()
-	for i := range dIn.Data {
-		if !r.mask[i] {
-			dIn.Data[i] = 0
+	if RefKernels() {
+		dIn := dOut.Clone()
+		for i := range dIn.Data {
+			if !r.mask[i] {
+				dIn.Data[i] = 0
+			}
+		}
+		return dIn
+	}
+	for i := range dOut.Data {
+		if r.bits[i>>6]&(1<<(i&63)) == 0 {
+			dOut.Data[i] = 0
 		}
 	}
-	return dIn
+	return dOut
 }
 
 // PixelShuffle rearranges a (C*s², H, W) tensor into (C, H*s, W*s): the
 // sub-pixel upsampling of ESPCN (Shi et al. 2016), which the paper's SR
-// model family uses to upscale at the network's tail.
+// model family uses to upscale at the network's tail. Both directions move
+// whole rows with stride-s slice writes instead of per-element At/Set
+// index arithmetic.
 type PixelShuffle struct {
-	S int
+	S     int
+	arena *Arena
 }
 
 // Params implements Layer.
 func (p *PixelShuffle) Params() []Param { return nil }
+
+// SetKernelContext implements KernelConfigurable.
+func (p *PixelShuffle) SetKernelContext(a *Arena, pl *Pool) { p.arena = a }
+
+// CloneShared returns a PixelShuffle for a per-sample gradient context.
+func (p *PixelShuffle) CloneShared() *PixelShuffle {
+	return &PixelShuffle{S: p.S, arena: p.arena}
+}
 
 // Forward implements Layer.
 func (p *PixelShuffle) Forward(x *Tensor) *Tensor {
@@ -192,6 +380,31 @@ func (p *PixelShuffle) Forward(x *Tensor) *Tensor {
 		panic("nn: PixelShuffle channel count not divisible by s²")
 	}
 	outC := x.C / (s * s)
+	if RefKernels() {
+		return p.forwardRef(x, outC)
+	}
+	out := p.arena.Get(outC, x.H*s, x.W*s)
+	for oc := 0; oc < outC; oc++ {
+		for sy := 0; sy < s; sy++ {
+			for sx := 0; sx < s; sx++ {
+				ic := oc*s*s + sy*s + sx
+				for y := 0; y < x.H; y++ {
+					src := x.Data[(ic*x.H+y)*x.W : (ic*x.H+y)*x.W+x.W]
+					drow := out.Data[(oc*out.H+y*s+sy)*out.W+sx:]
+					for i, v := range src {
+						drow[i*s] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// forwardRef is the seed implementation's per-element At/Set loop, retained
+// as the benchmark baseline behind SetRefKernels.
+func (p *PixelShuffle) forwardRef(x *Tensor, outC int) *Tensor {
+	s := p.S
 	out := NewTensor(outC, x.H*s, x.W*s)
 	for oc := 0; oc < outC; oc++ {
 		for sy := 0; sy < s; sy++ {
@@ -199,7 +412,7 @@ func (p *PixelShuffle) Forward(x *Tensor) *Tensor {
 				ic := oc*s*s + sy*s + sx
 				for y := 0; y < x.H; y++ {
 					for xx := 0; xx < x.W; xx++ {
-						out.Set(oc, y*s+sy, xx*s+sx, x.At(ic, y, xx))
+						out.Set(oc, y*s+sy, xx*s+sx, x.At(ic, y, xx)) //livenas:allow hot-loop-precision scalar reference path, kept as the tracked bench baseline
 					}
 				}
 			}
@@ -213,6 +426,29 @@ func (p *PixelShuffle) Backward(dOut *Tensor) *Tensor {
 	s := p.S
 	inC := dOut.C * s * s
 	inH, inW := dOut.H/s, dOut.W/s
+	if RefKernels() {
+		return p.backwardRef(dOut, inC, inH, inW)
+	}
+	dIn := p.arena.Get(inC, inH, inW)
+	for oc := 0; oc < dOut.C; oc++ {
+		for sy := 0; sy < s; sy++ {
+			for sx := 0; sx < s; sx++ {
+				ic := oc*s*s + sy*s + sx
+				for y := 0; y < inH; y++ {
+					src := dOut.Data[(oc*dOut.H+y*s+sy)*dOut.W+sx:]
+					drow := dIn.Data[(ic*inH+y)*inW : (ic*inH+y)*inW+inW]
+					for i := range drow {
+						drow[i] = src[i*s]
+					}
+				}
+			}
+		}
+	}
+	return dIn
+}
+
+func (p *PixelShuffle) backwardRef(dOut *Tensor, inC, inH, inW int) *Tensor {
+	s := p.S
 	dIn := NewTensor(inC, inH, inW)
 	for oc := 0; oc < dOut.C; oc++ {
 		for sy := 0; sy < s; sy++ {
@@ -220,7 +456,7 @@ func (p *PixelShuffle) Backward(dOut *Tensor) *Tensor {
 				ic := oc*s*s + sy*s + sx
 				for y := 0; y < inH; y++ {
 					for xx := 0; xx < inW; xx++ {
-						dIn.Set(ic, y, xx, dOut.At(oc, y*s+sy, xx*s+sx))
+						dIn.Set(ic, y, xx, dOut.At(oc, y*s+sy, xx*s+sx)) //livenas:allow hot-loop-precision scalar reference path, kept as the tracked bench baseline
 					}
 				}
 			}

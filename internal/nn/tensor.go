@@ -94,10 +94,16 @@ func ZeroGrads(layers []Layer) {
 // MSELoss returns the mean squared error between pred and target and the
 // gradient of the loss w.r.t. pred (2*(pred-target)/N).
 func MSELoss(pred, target *Tensor) (float64, *Tensor) {
-	if !pred.SameShape(target) {
+	grad := NewTensor(pred.C, pred.H, pred.W)
+	return MSELossGradInto(pred, target, grad), grad
+}
+
+// MSELossGradInto is MSELoss writing the gradient into a caller-provided
+// (typically arena-recycled) tensor of the same shape, fully overwriting it.
+func MSELossGradInto(pred, target, grad *Tensor) float64 {
+	if !pred.SameShape(target) || !pred.SameShape(grad) {
 		panic("nn: MSELoss shape mismatch")
 	}
-	grad := NewTensor(pred.C, pred.H, pred.W)
 	n := float32(len(pred.Data))
 	var loss float64
 	for i := range pred.Data {
@@ -105,5 +111,5 @@ func MSELoss(pred, target *Tensor) (float64, *Tensor) {
 		loss += float64(d) * float64(d) //livenas:allow hot-loop-precision float64 loss accumulator is intentional
 		grad.Data[i] = 2 * d / n
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }

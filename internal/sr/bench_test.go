@@ -1,0 +1,78 @@
+package sr
+
+import (
+	"math/rand"
+	"testing"
+
+	"livenas/internal/frame"
+	"livenas/internal/nn"
+)
+
+// End-to-end kernel benchmarks, tracked by scripts/bench.sh into
+// BENCH_kernels.json alongside the conv microbenches. "kernel" runs the
+// im2col/GEMM engine with per-sample gradient contexts and arena
+// recycling; "ref" the retained scalar reference path (the seed
+// implementation's behaviour), toggled in the same binary.
+
+func randFrame(w, h int, rng *rand.Rand) *frame.Frame {
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// modelMACs is the nominal forward MAC count of the default model per input
+// pixel: three 3×3 convs (1→C, C→C, C→s²) at input resolution.
+func modelMACs(m *Model, inPix int) int64 {
+	c, s := m.Channels, m.Scale
+	return int64((1*c+c*c+c*s*s)*9) * int64(inPix)
+}
+
+// benchTrainEpoch trains on the paper's patch geometry scaled to the
+// default config: 24×24 LR patches against 48×48 HR labels (scale 2).
+func benchTrainEpoch(b *testing.B, ref bool) {
+	m := NewModel(2, 0, 1)
+	cfg := DefaultTrainConfig()
+	tr := NewTrainer(m, cfg, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 32; i++ {
+		tr.AddSample(randFrame(24, 24, rng), randFrame(48, 48, rng))
+	}
+	nn.SetRefKernels(ref)
+	defer nn.SetRefKernels(false)
+	// Nominal epoch MACs: forward + ~2x backward per sample.
+	perSample := 3 * modelMACs(m, 24*24)
+	b.SetBytes(4 * perSample * int64(cfg.Batch*cfg.ItersPerEpoch))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Epoch()
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	b.Run("kernel", func(b *testing.B) { benchTrainEpoch(b, false) })
+	b.Run("ref", func(b *testing.B) { benchTrainEpoch(b, true) })
+}
+
+// benchInference1080p super-resolves a 960×540 frame to 1920×1080, the
+// paper's ingest-to-native geometry.
+func benchInference1080p(b *testing.B, ref bool) {
+	m := NewModel(2, 0, 1)
+	rng := rand.New(rand.NewSource(5))
+	lr := randFrame(960, 540, rng)
+	nn.SetRefKernels(ref)
+	defer nn.SetRefKernels(false)
+	b.SetBytes(4 * modelMACs(m, 960*540))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SuperResolve(lr)
+	}
+}
+
+func BenchmarkInference1080p(b *testing.B) {
+	b.Run("kernel", func(b *testing.B) { benchInference1080p(b, false) })
+	b.Run("ref", func(b *testing.B) { benchInference1080p(b, true) })
+}

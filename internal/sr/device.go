@@ -8,6 +8,13 @@ import "time"
 // (Figures 9d, 10d, 15; Table 2). Constants are calibrated so single-GPU
 // 1080p-target inference and the paper's 5-second training epochs land in
 // the ranges of Table 2 / §6.2.
+//
+// Charges are by *nominal* MAC count — pixels times taps, independent of
+// the weight values. The real kernels honour the same convention: the
+// convolution performs every tap multiply even for zero weights (no
+// data-dependent skips), so measured CPU cost tracks the virtual clock's
+// charges instead of drifting as zero-initialised layers pick up non-zero
+// weights during training.
 type Device struct {
 	// PerInputPixelNS and PerOutputPixelNS model the convolution work at the
 	// network's input resolution and the tail/upsample work at the output

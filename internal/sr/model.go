@@ -37,6 +37,23 @@ type Model struct {
 	layers   []nn.Layer
 	params   []nn.Param
 
+	// arena recycles every tensor the forward/backward hot path produces;
+	// pool is the kernel worker pool conv row blocks and per-sample
+	// gradient contexts run on. Both are private to the model (the arena
+	// is shared with the model's gradient contexts, which is safe — it is
+	// internally locked).
+	arena *nn.Arena
+	pool  *nn.Pool
+
+	// live tracks the arena tensors produced by the most recent forward
+	// chain; they stay out until backward has consumed the cached
+	// activations, then releaseLive returns them. Guarded by mu.
+	live []*nn.Tensor
+
+	// ctxs are cached per-sample gradient contexts (see gradCtx), grown on
+	// demand to the trainer's shard size. Guarded by mu.
+	ctxs []*gradCtx
+
 	// mu guards the weights and the layers' forward/backward scratch
 	// state. The trainer write-locks it for the duration of a step;
 	// Processor.Sync read-locks the source model while copying weights
@@ -65,9 +82,24 @@ func NewModel(scale, channels int, seed int64) *Model {
 			mid, &nn.ReLU{},
 			tail, &nn.PixelShuffle{S: scale},
 		},
+		arena: nn.NewArena(),
+		pool:  nn.SharedPool(),
 	}
+	nn.ConfigureKernels(m.layers, m.arena, m.pool)
 	m.params = nn.CollectParams(m.layers)
 	return m
+}
+
+// SetKernelPool routes this model's kernels (and future gradient contexts)
+// through the given worker pool. Results are bit-identical for any pool
+// size — the pool changes only which goroutine runs a block, never the
+// partitioning — so this is purely a throughput knob.
+func (m *Model) SetKernelPool(p *nn.Pool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pool = p
+	nn.ConfigureKernels(m.layers, m.arena, m.pool)
+	m.ctxs = nil // rebuilt lazily with the new pool
 }
 
 // Params exposes the learnable parameters (stable order).
@@ -82,9 +114,11 @@ func (m *Model) ParamCount() int {
 	return n
 }
 
-// Clone returns a deep copy (weights and architecture, fresh grad buffers).
+// Clone returns a deep copy (weights and architecture, fresh grad buffers
+// and a fresh arena) sharing the source model's kernel pool.
 func (m *Model) Clone() *Model {
 	c := NewModel(m.Scale, m.Channels, 0)
+	c.SetKernelPool(m.pool)
 	c.CopyWeightsFrom(m)
 	return c
 }
@@ -117,21 +151,54 @@ func (m *Model) copyWeights(src *Model) {
 	}
 }
 
-// forward runs the residual branch (without the bilinear skip).
+// forward runs the residual branch (without the bilinear skip), tracking
+// every arena tensor a layer produces so releaseLive can recycle them once
+// the cached activations are no longer needed. In-place layers (ReLU)
+// return their input and are not tracked twice.
 func (m *Model) forward(x *nn.Tensor) *nn.Tensor {
 	h := x
 	for _, l := range m.layers {
-		h = l.Forward(h)
+		out := l.Forward(h)
+		if out != h {
+			m.live = append(m.live, out)
+		}
+		h = out
 	}
 	return h
 }
 
 // backward backpropagates a gradient through the residual branch,
-// accumulating parameter gradients.
+// accumulating parameter gradients. It takes ownership of g, recycling the
+// whole gradient chain through the arena as it goes; the caller must not
+// use g afterwards. Forward activations stay live (layers cached them) —
+// call releaseLive once per forward/backward pair.
 func (m *Model) backward(g *nn.Tensor) {
+	ref := nn.RefKernels()
 	for i := len(m.layers) - 1; i >= 0; i-- {
-		g = m.layers[i].Backward(g)
+		ng := m.layers[i].Backward(g)
+		if ng != g && !ref {
+			m.arena.Put(g)
+		}
+		g = ng
 	}
+	if !ref {
+		m.arena.Put(g)
+	}
+}
+
+// releaseLive returns the forward chain's tensors to the arena. In
+// reference-kernel mode tensors were plainly allocated, so they are simply
+// dropped for the GC — matching the seed's allocation behaviour that the
+// tracked benchmarks baseline against.
+func (m *Model) releaseLive() {
+	ref := nn.RefKernels()
+	for i, t := range m.live {
+		if !ref {
+			m.arena.Put(t)
+		}
+		m.live[i] = nil
+	}
+	m.live = m.live[:0]
 }
 
 // zeroGrads clears all gradient accumulators.
@@ -171,7 +238,11 @@ func (m *Model) SuperResolve(lr *frame.Frame) *frame.Frame {
 	defer m.mu.Unlock()
 	s := m.Scale
 	up := lr.ResizeBilinear(lr.W*s, lr.H*s)
-	res := m.forward(ToTensor(lr))
+	in := m.arena.Get(1, lr.H, lr.W)
+	for i, v := range lr.Pix {
+		in.Data[i] = float32(v) / 255
+	}
+	res := m.forward(in)
 	out := frame.New(up.W, up.H)
 	for i := range out.Pix {
 		v := float32(up.Pix[i]) + res.Data[i]*255
@@ -184,5 +255,77 @@ func (m *Model) SuperResolve(lr *frame.Frame) *frame.Frame {
 			out.Pix[i] = uint8(v + 0.5)
 		}
 	}
+	m.releaseLive()
+	m.arena.Put(in)
 	return out
 }
+
+// gradCtx is a per-sample gradient context: a layer chain sharing the
+// parent model's weight slices (live, not copied) but owning private
+// gradient accumulators and activation caches. The trainer runs one
+// context per minibatch sample so sample gradients compute concurrently on
+// the kernel pool, then folds their private gradients into the model in
+// ascending sample order — the same per-element accumulation order as a
+// sequential loop, so the result is deterministic for any pool size.
+type gradCtx struct {
+	arena  *nn.Arena
+	layers []nn.Layer
+	params []nn.Param
+	live   []*nn.Tensor
+}
+
+// gradContexts returns at least n cached gradient contexts, creating any
+// missing ones. Caller must hold m.mu.
+func (m *Model) gradContexts(n int) []*gradCtx {
+	for len(m.ctxs) < n {
+		g := &gradCtx{arena: m.arena}
+		for _, l := range m.layers {
+			switch t := l.(type) {
+			case *nn.Conv2D:
+				g.layers = append(g.layers, t.CloneShared())
+			case *nn.ReLU:
+				g.layers = append(g.layers, t.CloneShared())
+			case *nn.PixelShuffle:
+				g.layers = append(g.layers, t.CloneShared())
+			default:
+				panic("sr: layer type not supported by gradient contexts")
+			}
+		}
+		g.params = nn.CollectParams(g.layers)
+		m.ctxs = append(m.ctxs, g)
+	}
+	return m.ctxs[:n]
+}
+
+// sampleGrad runs one forward/backward pass for sample s, leaving the
+// sample's gradient in the context's private accumulators, and returns the
+// sample's loss.
+func (g *gradCtx) sampleGrad(s Sample) float64 {
+	h := s.LR
+	for _, l := range g.layers {
+		out := l.Forward(h)
+		if out != h {
+			g.live = append(g.live, out)
+		}
+		h = out
+	}
+	grad := g.arena.Get(h.C, h.H, h.W)
+	loss := nn.MSELossGradInto(h, s.Res, grad)
+	for i := len(g.layers) - 1; i >= 0; i-- {
+		ng := g.layers[i].Backward(grad)
+		if ng != grad {
+			g.arena.Put(grad)
+		}
+		grad = ng
+	}
+	g.arena.Put(grad)
+	for i, t := range g.live {
+		g.arena.Put(t)
+		g.live[i] = nil
+	}
+	g.live = g.live[:0]
+	return loss
+}
+
+// zeroGrads clears the context's private gradient accumulators.
+func (g *gradCtx) zeroGrads() { nn.ZeroGrads(g.layers) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"livenas/internal/frame"
+	"livenas/internal/nn"
 )
 
 // These stress tests pin down the synchronization contract between online
@@ -73,6 +74,68 @@ func TestConcurrentTrainInferSync(t *testing.T) {
 		}
 	}()
 	go func() { // direct inference on the shared training model
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			out := model.SuperResolve(in)
+			if out.W != in.W*2 || out.H != in.H*2 {
+				t.Errorf("SuperResolve returned %dx%d, want %dx%d", out.W, out.H, in.W*2, in.H*2)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestConcurrentKernelPoolStress drives the shared kernel worker pool from
+// every direction at once: a trainer whose shards fan per-sample gradient
+// contexts onto an explicit multi-worker pool, strip-split processor
+// inference on replicas sharing that pool, epoch-boundary Sync, and direct
+// SuperResolve — all against frames big enough that conv forward/backward
+// split into several row blocks. Under -race this pins down that pool
+// tasks, arena recycling, and the weight-sharing gradient contexts are
+// data-race-free while weights churn.
+func TestConcurrentKernelPoolStress(t *testing.T) {
+	model := NewModel(2, 4, 1)
+	model.SetKernelPool(nn.NewPool(4))
+	trainer := newStressTrainer(t, model)
+	for i := 0; i < 6; i++ { // larger samples: multi-block backward
+		lr := frame.New(48, 40)
+		hr := frame.New(96, 80)
+		fillTestFrame(lr, i)
+		fillTestFrame(hr, i+3)
+		trainer.AddSample(lr, hr)
+	}
+	proc := NewProcessor(model, 2, RTX2080Ti())
+
+	in := frame.New(96, 64)
+	fillTestFrame(in, 11)
+
+	const iters = 12
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			trainer.Epoch()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			proc.Sync(model)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			out, _ := proc.Process(in)
+			if out.W != in.W*2 || out.H != in.H*2 {
+				t.Errorf("Process returned %dx%d, want %dx%d", out.W, out.H, in.W*2, in.H*2)
+				return
+			}
+		}
+	}()
+	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
 			out := model.SuperResolve(in)

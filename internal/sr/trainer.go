@@ -202,15 +202,7 @@ func (t *Trainer) step() float64 {
 		go func() {
 			m := models[si]
 			m.zeroGrads()
-			var loss float64
-			lo, hi := si*perShard, (si+1)*perShard
-			for _, di := range idx[lo:hi] {
-				s := t.data[di]
-				out := m.forward(s.LR)
-				l, grad := nn.MSELoss(out, s.Res)
-				loss += l
-				m.backward(grad)
-			}
+			loss := t.shardGrad(m, idx[si*perShard:(si+1)*perShard])
 			// Recency weight: linear ramp so the shard with the newest
 			// patches counts ~2x the oldest shard.
 			results[si] = shardResult{loss: loss, weight: 1 + float64(si)/float64(g)}
@@ -270,6 +262,49 @@ func (t *Trainer) step() float64 {
 		loss += r.loss
 	}
 	return loss / total
+}
+
+// shardGrad accumulates the gradient of the samples idx into m's gradient
+// accumulators and returns the summed loss.
+//
+// On the kernel engine each sample gets a private gradient context
+// (weight-sharing layer clones) so all samples of the shard run
+// concurrently on the kernel pool; the private gradients are then folded
+// into the model in ascending sample order. The fold order — and therefore
+// the result — is fixed by the shard contents alone, never by the pool
+// size. The scalar reference path keeps the seed's sequential
+// accumulate-in-place loop, which the tracked benchmarks baseline against.
+func (t *Trainer) shardGrad(m *Model, idx []int) float64 {
+	if nn.RefKernels() {
+		var loss float64
+		for _, di := range idx {
+			s := t.data[di]
+			out := m.forward(s.LR)
+			l, grad := nn.MSELoss(out, s.Res)
+			loss += l
+			m.backward(grad)
+			m.releaseLive()
+		}
+		return loss
+	}
+	ctxs := m.gradContexts(len(idx))
+	losses := make([]float64, len(idx))
+	m.pool.Run(len(idx), func(k int) {
+		ctxs[k].zeroGrads()
+		losses[k] = ctxs[k].sampleGrad(t.data[idx[k]])
+	})
+	var loss float64
+	mp := m.Params()
+	for k := range idx {
+		for pi := range mp {
+			dst := mp[pi].Grad
+			for j, v := range ctxs[k].params[pi].Grad {
+				dst[j] += v
+			}
+		}
+		loss += losses[k]
+	}
+	return loss
 }
 
 // sortBySeq orders sample indices by ascending arrival sequence (insertion

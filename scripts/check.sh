@@ -22,6 +22,12 @@ go run ./cmd/livenas-vet ./...
 echo "== go test ./..."
 go test ./...
 
+echo "== differential kernel tests (GEMM engine vs scalar reference)"
+go test -count=1 -run 'TestConvGEMMMatchesRef|TestConvDeterministicAcrossPoolSizes|TestReLUAndPixelShuffleMatchRef' ./internal/nn
+
+echo "== kernel bench smoke (scripts/bench.sh -short)"
+scripts/bench.sh -short >/dev/null
+
 echo "== go test -race (concurrency tier)"
 go test -race ./internal/sr ./internal/wire ./internal/transport ./internal/core
 
