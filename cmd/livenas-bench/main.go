@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"livenas/internal/exp"
+	"livenas/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		traces  = flag.Int("traces", 0, "traces per data point (0 = default)")
 		dur     = flag.Duration("dur", 0, "per-session stream duration (0 = default)")
 		timings = flag.Bool("time", true, "print per-experiment wall time")
+		summary = flag.String("summary", "", "run one representative LiveNAS session and write its telemetry summary JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +40,14 @@ func main() {
 	o.Duration = *dur
 
 	switch {
+	case *summary != "":
+		s := exp.RunSummary(o)
+		if err := telemetry.WriteSummaryFile(*summary, s); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry summary written to %s (scheme %s, duty cycle %.2f, infer p50 %.2f ms)\n",
+			*summary, s.Scheme, s.TrainerDutyCycle, s.InferP50MS)
 	case *list:
 		for _, e := range exp.Registry {
 			fmt.Printf("%-12s %s\n", e.ID, e.Desc)

@@ -11,15 +11,19 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the debug listener's mux
 	"time"
 
 	"livenas/internal/codec"
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/sr"
+	"livenas/internal/telemetry"
 	"livenas/internal/wire"
 )
 
@@ -28,8 +32,18 @@ func main() {
 		listen   = flag.String("listen", ":9455", "TCP listen address")
 		epochLen = flag.Duration("epoch", 5*time.Second, "training epoch length")
 		once     = flag.Bool("once", true, "exit after the first session")
+		debug    = flag.String("debug", "", "optional HTTP debug listen address "+
+			"(expvar at /debug/vars, registry snapshot at /debug/telemetry, "+
+			"event trace at /debug/telemetry/events, pprof at /debug/pprof/)")
 	)
 	flag.Parse()
+
+	reg := telemetry.New()
+	if *debug != "" {
+		if _, err := startDebug(*debug, reg); err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -41,14 +55,47 @@ func main() {
 		if err != nil {
 			log.Fatalf("accept: %v", err)
 		}
-		serve(conn, *epochLen)
+		serve(conn, *epochLen, reg)
 		if *once {
 			return
 		}
 	}
 }
 
-func serve(conn net.Conn, epochLen time.Duration) {
+// startDebug serves the process's introspection surface on its own HTTP
+// listener and returns the bound address: expvar JSON (the telemetry
+// snapshot is published as the "livenas" var), the registry's own JSON and
+// JSONL endpoints, and pprof (registered on the default mux by the
+// net/http/pprof import). Call it at most once per process — expvar and the
+// default mux reject duplicate registrations.
+func startDebug(addr string, reg *telemetry.Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvar.Publish("livenas", expvar.Func(func() any { return reg.Snapshot() }))
+	http.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			log.Printf("debug: telemetry write: %v", err)
+		}
+	})
+	http.HandleFunc("/debug/telemetry/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := reg.WriteEvents(w); err != nil {
+			log.Printf("debug: event write: %v", err)
+		}
+	})
+	log.Printf("debug listener on http://%s (/debug/vars /debug/telemetry /debug/pprof/)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 	defer conn.Close()
 	log.Printf("ingest session from %s", conn.RemoteAddr())
 
@@ -65,6 +112,14 @@ func serve(conn net.Conn, epochLen time.Duration) {
 	model := sr.NewModel(scale, sr.DefaultChannels, 1)
 	trainer := sr.NewTrainer(model, sr.DefaultTrainConfig(), 2)
 	proc := sr.NewProcessor(model, 1, sr.RTX2080Ti())
+	trainer.SetTelemetry(reg)
+	proc.SetTelemetry(reg)
+	// The real server timestamps its telemetry events with session-relative
+	// wall-clock time (there is no simulated clock here).
+	start := time.Now() //livenas:allow determinism real server stamps telemetry with wall-clock session time
+	elapsed := func() time.Duration {
+		return time.Since(start) //livenas:allow determinism ditto
+	}
 
 	type patchPair struct{ lr, hr *frame.Frame }
 	var (
@@ -113,6 +168,12 @@ func serve(conn net.Conn, epochLen time.Duration) {
 			}
 			log.Printf("epoch %d: loss %.5f, SR gain on recent patches %+.2f dB (%d samples)",
 				epochs, loss, gain, trainer.SampleCount())
+			reg.Emit(elapsed(), "train_epoch",
+				telemetry.Num("epoch", float64(epochs)),
+				telemetry.Num("samples", float64(trainer.SampleCount())),
+				telemetry.Num("loss", loss),
+				telemetry.Num("gain_cur_db", gain),
+			)
 			if err := wire.Write(conn, &wire.Message{Type: wire.MsgStats, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
 				log.Printf("session ended after %d frames, %d patches, %d epochs: stats write: %v", frames, patches, epochs, err)
 				return

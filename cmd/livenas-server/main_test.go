@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"livenas/internal/telemetry"
+)
+
+// TestDebugListener boots the -debug HTTP listener on an ephemeral port and
+// checks each surface: expvar JSON with the published telemetry snapshot,
+// the registry's own snapshot and JSONL event endpoints, and pprof.
+func TestDebugListener(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("core_frames_decoded").Add(3)
+	reg.Emit(time.Second, "trainer_state", telemetry.Str("state", "training"))
+
+	addr, err := startDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("startDebug: %v", err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(vars["livenas"], &snap); err != nil {
+		t.Fatalf("livenas expvar is not a snapshot: %v", err)
+	}
+	if snap.Counters["core_frames_decoded"] != 3 {
+		t.Fatalf("expvar snapshot counters = %v, want core_frames_decoded=3", snap.Counters)
+	}
+
+	if err := json.Unmarshal([]byte(get("/debug/telemetry")), &snap); err != nil {
+		t.Fatalf("/debug/telemetry is not a snapshot: %v", err)
+	}
+
+	events := strings.TrimSpace(get("/debug/telemetry/events"))
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(events), &ev); err != nil {
+		t.Fatalf("/debug/telemetry/events line %q not JSON: %v", events, err)
+	}
+	if ev["type"] != "trainer_state" {
+		t.Fatalf("event type = %v, want trainer_state", ev["type"])
+	}
+
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+}

@@ -39,7 +39,7 @@ func main() {
 	adaptive := base
 	adaptive.TrainPolicy = livenas.TrainAdaptive
 	ra := livenas.Run(adaptive)
-	for _, st := range ra.Timeline {
+	for _, st := range ra.TrainerTimeline() {
 		fmt.Printf("  t=%6.1fs  trainer %s\n", st.T.Seconds(), st.State)
 	}
 

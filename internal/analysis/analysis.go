@@ -53,6 +53,7 @@ func AllChecks() []*Check {
 		MutexHygiene,
 		SwitchExhaustiveness,
 		HotLoopPrecision,
+		TelemetryHotPath,
 	}
 }
 

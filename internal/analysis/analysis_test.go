@@ -24,6 +24,7 @@ var fixtureChecks = []struct {
 	{"mutexhygiene", "mutex-hygiene"},
 	{"exhaustive", "switch-exhaustiveness"},
 	{"hotloop", "hot-loop-precision"},
+	{"telemetryhot", "telemetry-hot-path"},
 }
 
 func loadFixture(t *testing.T, dir string) []*Package {

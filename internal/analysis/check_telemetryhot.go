@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TelemetryHotPath keeps instrumentation off the numeric hot paths: inside
+// loops in the kernel packages (internal/nn, internal/sr) only the
+// lock-free handle API of internal/telemetry may be used — Counter.Add/Inc,
+// Gauge.Set, Histogram.Observe. Registry methods (Counter/Gauge/Histogram
+// registration, Emit, Snapshot, …) take a mutex or allocate and belong
+// outside the loop: register handles once (SetTelemetry) and call the
+// atomics per element. Annotate a deliberate exception with
+// //livenas:allow telemetry-hot-path.
+var TelemetryHotPath = &Check{
+	Name: "telemetry-hot-path",
+	Doc: "locking telemetry.Registry call inside a loop in a numeric kernel " +
+		"package; register Counter/Gauge/Histogram handles once outside the " +
+		"loop and use their lock-free methods, or annotate with " +
+		"//livenas:allow telemetry-hot-path",
+	Run: runTelemetryHotPath,
+}
+
+// telemetryHotScope names the path segments of the kernel packages whose
+// loops are all hot loops.
+var telemetryHotScope = []string{"nn", "sr"}
+
+// telemetryHandleTypes are the telemetry types whose methods are lock-free
+// atomics (or pure reads) and therefore loop-safe.
+var telemetryHandleTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Event":     true,
+	"Field":     true,
+}
+
+func runTelemetryHotPath(p *Pass) {
+	if !hasSegment(p.Pkg.Path, telemetryHotScope...) {
+		return
+	}
+	// Nested loops revisit inner bodies; dedupe by position.
+	seen := map[token.Pos]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || seen[call.Pos()] {
+					return true
+				}
+				if name, ok := lockingTelemetryCall(p, call); ok {
+					seen[call.Pos()] = true
+					p.Reportf(call.Pos(), "telemetry %s inside a hot loop; register the handle once outside the loop and use the lock-free Counter/Gauge/Histogram API", name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// lockingTelemetryCall reports whether call is a method call on a
+// module-internal telemetry type that is not one of the lock-free handles
+// (i.e. a Registry method: registration, Emit, Snapshot, …).
+func lockingTelemetryCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	pkg := s.Obj().Pkg()
+	if pkg == nil || !hasSegment(pkg.Path(), "telemetry") {
+		return "", false
+	}
+	if pkg.Path() != p.Pkg.ModPath && !strings.HasPrefix(pkg.Path(), p.Pkg.ModPath+"/") {
+		return "", false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || telemetryHandleTypes[named.Obj().Name()] {
+		return "", false
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name, true
+}

@@ -1,0 +1,46 @@
+// Package nn sits inside the kernel scope (path segment "nn"); locking
+// telemetry.Registry calls inside loops are flagged here, while the
+// lock-free handle API is fine.
+package nn
+
+import (
+	"time"
+
+	"fix/telemetry"
+)
+
+type kernel struct {
+	reg    *telemetry.Registry
+	blocks *telemetry.Counter
+}
+
+// setTelemetry registers handles outside any loop: ok.
+func (k *kernel) setTelemetry(reg *telemetry.Registry) {
+	k.reg = reg
+	k.blocks = reg.Counter("nn_blocks")
+}
+
+func (k *kernel) run(rows int) {
+	for i := 0; i < rows; i++ {
+		k.blocks.Inc()                      // lock-free handle: ok
+		k.reg.Counter("nn_rows_hot").Inc()  // want telemetry-hot-path
+		k.reg.Emit(time.Second, "row_done", // want telemetry-hot-path
+			telemetry.Num("row", float64(i)))
+	}
+}
+
+func (k *kernel) nested(m [][]float32) {
+	for _, row := range m {
+		for range row {
+			k.reg.Counter("nn_cells").Inc() // want telemetry-hot-path
+		}
+	}
+}
+
+// perEpochTrace emits one event per epoch; the epoch loop is not a
+// per-element hot loop, so the exception is annotated in place.
+func (k *kernel) perEpochTrace(epochs int) {
+	for e := 0; e < epochs; e++ {
+		k.reg.Emit(time.Second, "epoch", telemetry.Num("e", float64(e))) //livenas:allow telemetry-hot-path once per epoch, not per element
+	}
+}

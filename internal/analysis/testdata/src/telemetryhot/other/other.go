@@ -1,0 +1,11 @@
+// Package other is outside the kernel scope (no "nn"/"sr" path segment):
+// registry calls in its loops are not this check's business.
+package other
+
+import "fix/telemetry"
+
+func drain(reg *telemetry.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("other_units").Inc() // out of scope: ok
+	}
+}

@@ -1,0 +1,59 @@
+// Package telemetry mimics the real internal/telemetry surface: a
+// map-backed, mutex-guarded Registry handing out lock-free Counter/Gauge
+// handles. The telemetry-hot-path check keys off the path segment
+// "telemetry" and the handle type names, so this stand-in exercises the
+// same selection logic as the real package.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+func New() *Registry { return &Registry{counters: map[string]*Counter{}} }
+
+// Counter is registration: it locks the registry map.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Emit locks the event log.
+func (r *Registry) Emit(t time.Duration, typ string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+type Field struct {
+	Key string
+	Num float64
+}
+
+func Num(key string, v float64) Field { return Field{Key: key, Num: v} }

@@ -9,6 +9,7 @@ import (
 	"livenas/internal/gcc"
 	"livenas/internal/metrics"
 	"livenas/internal/sim"
+	"livenas/internal/telemetry"
 	"livenas/internal/transport"
 	"livenas/internal/vidgen"
 )
@@ -88,6 +89,12 @@ type client struct {
 	patchesSent    int
 	patchBytesSent int
 	videoBytesSent int
+
+	// Telemetry. reg is retained for scheduler_split events (one per
+	// scheduler update, alongside gradSeries).
+	reg         *telemetry.Registry
+	mPatchesOut *telemetry.Counter
+	mFramesCap  *telemetry.Counter
 }
 
 type queuedPatch struct {
@@ -112,7 +119,11 @@ func newClient(s *sim.Simulator, cfg Config, src *vidgen.Source, pacer *transpor
 		pacer:     pacer,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		patchKbps: cfg.InitPatchKbps,
+		reg:       cfg.Telemetry,
 	}
+	c.ctrl.SetTelemetry(c.reg)
+	c.mPatchesOut = c.reg.Counter("core_patches_sent")
+	c.mFramesCap = c.reg.Counter("core_frames_captured")
 	if cfg.Scheme != SchemeLiveNAS {
 		c.patchKbps = 0
 	}
@@ -154,6 +165,7 @@ func (c *client) onCapture() {
 	now := c.s.Now()
 	raw := c.src.FrameAt(now.Seconds())
 	lr := raw.Downscale(c.scale)
+	c.mFramesCap.Inc()
 
 	targetBits := int(c.videoKbps() * 1000 / c.cfg.FPS)
 	ef := c.enc.Encode(lr, targetBits)
@@ -214,6 +226,7 @@ func (c *client) pumpPatches(frameID int, raw, lr, recon *frame.Frame) {
 		}
 		c.patchID++
 		c.patchesSent++
+		c.mPatchesOut.Inc()
 	}
 }
 
@@ -361,13 +374,20 @@ func (c *client) onSchedule() {
 }
 
 func (c *client) recordGrad(g float64) {
-	c.gradSeries = append(c.gradSeries, GradPoint{
+	p := GradPoint{
 		T:          c.s.Now(),
 		Gradient:   g,
 		PatchKbps:  c.currentPatchKbps(),
 		VideoKbps:  c.videoKbps(),
 		TargetKbps: c.ctrl.TargetKbps(),
-	})
+	}
+	c.gradSeries = append(c.gradSeries, p)
+	c.reg.Emit(p.T, "scheduler_split",
+		telemetry.Num("gradient_db_per_kbps", p.Gradient),
+		telemetry.Num("patch_kbps", p.PatchKbps),
+		telemetry.Num("video_kbps", p.VideoKbps),
+		telemetry.Num("target_kbps", p.TargetKbps),
+	)
 }
 
 // probeVideoSlope measures dQvideo/dv (dB per kbps) by encoding the latest

@@ -12,6 +12,7 @@ import (
 
 	"livenas/internal/codec"
 	"livenas/internal/sr"
+	"livenas/internal/telemetry"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
@@ -140,6 +141,13 @@ type Config struct {
 	MetricEvery time.Duration // quality sampling period (1s)
 	MeasureSSIM bool
 	Device      sr.Device
+
+	// Telemetry receives the run's metrics and event trace (scheduler
+	// splits, trainer transitions, patch admissions, GCC estimates…). When
+	// nil, Run installs a fresh enabled registry; either way Results.
+	// Telemetry exposes it. Supply your own to stream events to a sink
+	// (Registry.SetSink) or to share one registry across runs.
+	Telemetry *telemetry.Registry
 }
 
 // withDefaults fills zero fields and validates geometry.
@@ -209,6 +217,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Ingest.W == 0 {
 		c.Ingest = trace.R540
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.New()
 	}
 	return c
 }

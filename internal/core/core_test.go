@@ -141,8 +141,9 @@ func TestQualityMonotoneWithBandwidth(t *testing.T) {
 func TestTimelineStartsTraining(t *testing.T) {
 	skipLongUnderRace(t)
 	_, _, lnas := sharedRuns(t)
-	if len(lnas.Timeline) == 0 || lnas.Timeline[0].State != "training" {
-		t.Fatalf("timeline %v should start in training", lnas.Timeline)
+	tl := lnas.TrainerTimeline()
+	if len(tl) == 0 || tl[0].State != "training" {
+		t.Fatalf("timeline %v should start in training", tl)
 	}
 }
 

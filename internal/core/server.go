@@ -11,6 +11,7 @@ import (
 	"livenas/internal/nn"
 	"livenas/internal/sim"
 	"livenas/internal/sr"
+	"livenas/internal/telemetry"
 	"livenas/internal/transport"
 	"livenas/internal/vidgen"
 )
@@ -45,7 +46,10 @@ const (
 	diffSmooth = 0.5
 )
 
-// StateChange records a trainer ON/OFF transition (Figure 16 timeline).
+// StateChange records a trainer ON/OFF transition (Figure 16 timeline). The
+// server does not keep a timeline of its own: transitions are emitted as
+// trainer_state telemetry events and Results.TrainerTimeline reconstructs
+// this series from the event trace.
 type StateChange struct {
 	T     time.Duration
 	State string
@@ -96,7 +100,6 @@ type server struct {
 	state    trainerState
 	patience int
 	diffEWMA float64 // smoothed qCur - qPrev, dB
-	timeline []StateChange
 
 	// Bookkeeping.
 	gpuTrainBusy    time.Duration
@@ -105,6 +108,20 @@ type server struct {
 	patchesReceived int
 	e2eLatencySum   time.Duration
 	e2eLatencyN     int
+
+	// Telemetry. reg is retained for event emission (trainer_state,
+	// patch_admit, train_epoch); the handles are lock-free counters/gauges
+	// registered once in newServer.
+	reg            *telemetry.Registry
+	mFramesDec     *telemetry.Counter
+	mFramesLost    *telemetry.Counter
+	mPatchesRecv   *telemetry.Counter
+	mPatchesAdmit  *telemetry.Counter
+	mEpochs        *telemetry.Counter
+	mArenaHits     *telemetry.Gauge
+	mArenaMisses   *telemetry.Gauge
+	mTrainGainCur  *telemetry.Gauge
+	mTrainDiffEWMA *telemetry.Gauge
 }
 
 // genericModelCache memoises the expensive generic pre-training per
@@ -192,7 +209,18 @@ func newServer(s *sim.Simulator, cfg Config, notify func(serverMsg)) *server {
 		fbc:    transport.NewFeedbackCollector(100 * time.Millisecond),
 		notify: notify,
 		state:  stateTraining,
+		reg:    cfg.Telemetry,
 	}
+	sv.reasm.SetTelemetry(sv.reg)
+	sv.mFramesDec = sv.reg.Counter("core_frames_decoded")
+	sv.mFramesLost = sv.reg.Counter("core_frames_lost")
+	sv.mPatchesRecv = sv.reg.Counter("core_patches_received")
+	sv.mPatchesAdmit = sv.reg.Counter("core_patches_admitted")
+	sv.mEpochs = sv.reg.Counter("core_train_epochs")
+	sv.mArenaHits = sv.reg.Gauge("nn_arena_hits")
+	sv.mArenaMisses = sv.reg.Gauge("nn_arena_misses")
+	sv.mTrainGainCur = sv.reg.Gauge("core_train_gain_db")
+	sv.mTrainDiffEWMA = sv.reg.Gauge("core_train_diff_ewma_db")
 	sv.initModel = genericModel(scale, cfg.Channels)
 	switch cfg.Scheme {
 	case SchemeWebRTC:
@@ -215,16 +243,26 @@ func newServer(s *sim.Simulator, cfg Config, notify func(serverMsg)) *server {
 		tcfg := cfg.TrainCfg
 		tcfg.GPUs = cfg.TrainGPUs
 		sv.trainer = sr.NewTrainer(sv.model, tcfg, cfg.Seed^0xbeef)
+		sv.trainer.SetTelemetry(sv.reg)
 		sv.prevModel = sv.model.Clone()
 	}
 	if sv.model != nil {
 		sv.proc = sr.NewProcessor(sv.model, cfg.InferGPUs, cfg.Device)
+		sv.proc.SetTelemetry(sv.reg)
 	}
 	sv.diffEWMA = 1 // optimistic start: never suspend before real signal
-	sv.timeline = append(sv.timeline, StateChange{T: 0, State: sv.trainingActive().String()})
+	sv.emitTrainerState(sv.trainingActive(), telemetry.Str("reason", "start"))
 	sv.reasm.OnComplete = sv.onUnit
 	sv.reasm.OnLoss = sv.onUnitLoss
 	return sv
+}
+
+// emitTrainerState records a trainer ON/OFF transition as a trainer_state
+// event (the Figure 16 timeline; Results.TrainerTimeline reconstructs the
+// StateChange series from these).
+func (sv *server) emitTrainerState(st trainerState, extra ...telemetry.Field) {
+	fields := append([]telemetry.Field{telemetry.Str("state", st.String())}, extra...)
+	sv.reg.Emit(sv.s.Now(), "trainer_state", fields...)
 }
 
 // trainingActive reports whether the trainer would run an epoch now, under
@@ -262,6 +300,7 @@ func (sv *server) onWirePacket(p netem.Packet) {
 func (sv *server) onUnitLoss(k transport.Kind, id int) {
 	if k == transport.KindVideo {
 		sv.framesLost++
+		sv.mFramesLost.Inc()
 		sv.needKey = true
 		sv.waitKey = true
 	}
@@ -282,6 +321,7 @@ func (sv *server) onVideoFrame(a transport.Assembled) {
 	meta := a.Meta.(videoFrameMeta)
 	if sv.waitKey && !meta.Enc.Key {
 		sv.framesLost++
+		sv.mFramesLost.Inc()
 		sv.needKey = true
 		return
 	}
@@ -292,11 +332,13 @@ func (sv *server) onVideoFrame(a transport.Assembled) {
 	lr, err := sv.dec.Decode(&codec.EncodedFrame{Data: a.Data, Key: meta.Enc.Key, QP: meta.Enc.QP, Seq: a.ID})
 	if err != nil {
 		sv.framesLost++
+		sv.mFramesLost.Inc()
 		sv.needKey = true
 		sv.waitKey = true
 		return
 	}
 	sv.framesDecoded++
+	sv.mFramesDec.Inc()
 	df := decodedFrame{id: a.ID, captureAt: meta.CaptureAt, lr: lr}
 	sv.decoded = append(sv.decoded, df)
 	// Keep ~3 seconds of decoded frames for patch pairing.
@@ -316,6 +358,7 @@ func (sv *server) onPatch(a transport.Assembled) {
 		return
 	}
 	sv.patchesReceived++
+	sv.mPatchesRecv.Inc()
 	sv.patchBits += (len(a.Data) + transport.HeaderBytes) * 8
 	// Find the exact decoded frame the patch was cropped from (§5.2: the
 	// timestamp/frame id lets the server "find the low resolution
@@ -336,6 +379,13 @@ func (sv *server) onPatch(a transport.Assembled) {
 	lr := best.lr.Crop(meta.X/sv.scale, meta.Y/sv.scale, lps, lps)
 	if sv.trainer != nil {
 		sv.trainer.AddSample(lr, hr)
+		sv.mPatchesAdmit.Inc()
+		sv.reg.Emit(sv.s.Now(), "patch_admit",
+			telemetry.Num("frame_id", float64(meta.FrameID)),
+			telemetry.Num("x", float64(meta.X)),
+			telemetry.Num("y", float64(meta.Y)),
+			telemetry.Num("bytes", float64(len(a.Data))),
+		)
 	}
 	sv.recentPatch = append(sv.recentPatch, patchSample{hr: hr, lr: lr, receivedAt: sv.s.Now()})
 	if len(sv.recentPatch) > 8 {
@@ -380,8 +430,10 @@ func (sv *server) onEpochTick() {
 	var qPrev, qCur float64
 	if active == stateTraining {
 		sv.prevModel.CopyWeightsFrom(sv.model)
-		if sv.trainer.SampleCount() > 0 {
-			sv.trainer.Epoch()
+		var loss float64
+		samples := sv.trainer.SampleCount()
+		if samples > 0 {
+			loss = sv.trainer.Epoch()
 			sv.proc.Sync(sv.model)
 		}
 		// The training GPU is held for the full epoch while active (the
@@ -395,6 +447,23 @@ func (sv *server) onEpochTick() {
 		if len(sv.recentPatch) > 0 {
 			sv.diffEWMA = (1-diffSmooth)*sv.diffEWMA + diffSmooth*(qCur-qPrev)
 		}
+		sv.mEpochs.Inc()
+		sv.mTrainGainCur.Set(qCur)
+		sv.mTrainDiffEWMA.Set(sv.diffEWMA)
+		hits, misses := sv.model.ArenaStats()
+		ph, pm := sv.proc.ArenaStats()
+		sv.mArenaHits.Set(float64(hits + ph))
+		sv.mArenaMisses.Set(float64(misses + pm))
+		sv.reg.Emit(sv.s.Now(), "train_epoch",
+			telemetry.Num("epoch", float64(sv.epochIdx)),
+			telemetry.Num("samples", float64(samples)),
+			telemetry.Num("loss", loss),
+			telemetry.Num("gain_prev_db", qPrev),
+			telemetry.Num("gain_cur_db", qCur),
+			telemetry.Num("diff_ewma_db", sv.diffEWMA),
+			telemetry.Num("arena_hits", float64(hits+ph)),
+			telemetry.Num("arena_misses", float64(misses+pm)),
+		)
 		if sv.cfg.TrainPolicy == TrainAdaptive || sv.cfg.TrainPolicy == TrainEarlyStop {
 			if len(sv.recentPatch) > 0 && sv.diffEWMA < thresSat {
 				sv.patience++
@@ -402,7 +471,11 @@ func (sv *server) onEpochTick() {
 					sv.patience = 0
 					sv.state = stateSuspended
 					sv.earlyStopped = true
-					sv.timeline = append(sv.timeline, StateChange{T: sv.s.Now(), State: "suspended"})
+					sv.emitTrainerState(stateSuspended,
+						telemetry.Str("reason", "gain_saturated"),
+						telemetry.Num("gain_cur_db", qCur),
+						telemetry.Num("diff_ewma_db", sv.diffEWMA),
+					)
 				}
 			} else {
 				sv.patience = 0
@@ -421,7 +494,11 @@ func (sv *server) onEpochTick() {
 					sv.patience = 0
 					sv.state = stateTraining
 					sv.diffEWMA = 1 // re-bootstrap: don't instantly re-suspend
-					sv.timeline = append(sv.timeline, StateChange{T: sv.s.Now(), State: "training"})
+					sv.emitTrainerState(stateTraining,
+						telemetry.Str("reason", "content_change"),
+						telemetry.Num("gain_cur_db", qCur),
+						telemetry.Num("gain_init_db", qInit),
+					)
 				}
 			} else {
 				sv.patience = 0

@@ -7,6 +7,7 @@ import (
 	"livenas/internal/metrics"
 	"livenas/internal/netem"
 	"livenas/internal/sim"
+	"livenas/internal/telemetry"
 	"livenas/internal/trace"
 	"livenas/internal/transport"
 	"livenas/internal/vidgen"
@@ -30,11 +31,10 @@ type QualitySample struct {
 type Results struct {
 	Cfg Config
 
-	Samples  []QualitySample
-	AvgPSNR  float64
-	AvgSSIM  float64
-	Grad     []GradPoint
-	Timeline []StateChange
+	Samples []QualitySample
+	AvgPSNR float64
+	AvgSSIM float64
+	Grad    []GradPoint
 
 	Bandwidth []SeriesPoint // GCC target, kbps
 	Video     []SeriesPoint // video share, kbps
@@ -55,6 +55,62 @@ type Results struct {
 	AvgPatchKbps     float64
 	BytesVideo       int
 	BytesPatch       int
+
+	// reg is the run's telemetry registry (Cfg.Telemetry, or the fresh one
+	// Run installed). Accessed through Telemetry / TrainerTimeline /
+	// TelemetrySummary rather than exported: the registry is live state, not
+	// a result value.
+	reg *telemetry.Registry
+}
+
+// Telemetry returns the run's telemetry registry: every counter, gauge and
+// histogram the session touched plus the retained event trace.
+func (r *Results) Telemetry() *telemetry.Registry { return r.reg }
+
+// TrainerTimeline reconstructs the content-adaptive trainer's ON/OFF
+// timeline (Figure 16) from the run's trainer_state events. The first entry
+// is the state at t=0; each subsequent entry is a transition.
+func (r *Results) TrainerTimeline() []StateChange {
+	if r.reg == nil {
+		return nil
+	}
+	var tl []StateChange
+	for _, ev := range r.reg.EventsByType("trainer_state") {
+		tl = append(tl, StateChange{T: ev.T, State: ev.StrField("state")})
+	}
+	return tl
+}
+
+// TelemetrySummary condenses the run into the machine-readable summary the
+// experiment harness writes for CI (scheduler split, trainer duty cycle,
+// inference latency quantiles, plus every counter and gauge).
+func (r *Results) TelemetrySummary() telemetry.RunSummary {
+	s := telemetry.RunSummary{
+		Scheme:           r.Cfg.Scheme.String(),
+		Content:          r.Cfg.Cat.String(),
+		DurationS:        r.Cfg.Duration.Seconds(),
+		AvgTargetKbps:    r.AvgBandwidthKbps,
+		AvgVideoKbps:     r.AvgVideoKbps,
+		AvgPatchKbps:     r.AvgPatchKbps,
+		TrainerDutyCycle: r.TrainingShare(),
+	}
+	if r.AvgBandwidthKbps > 0 {
+		s.PatchShare = r.AvgPatchKbps / r.AvgBandwidthKbps
+	}
+	if n := len(r.TrainerTimeline()); n > 1 {
+		s.TrainerTransitions = n - 1 // first entry is the t=0 state
+	}
+	if r.reg != nil {
+		snap := r.reg.Snapshot()
+		if h, ok := snap.Histograms["core_infer_latency_ms"]; ok {
+			s.InferFrames = h.Count
+			s.InferP50MS = h.P50
+			s.InferP99MS = h.P99
+		}
+		s.Counters = snap.Counters
+		s.Gauges = snap.Gauges
+	}
+	return s
 }
 
 // Run executes one full ingest session on the discrete-event simulator and
@@ -63,6 +119,7 @@ func Run(cfg Config) *Results {
 	cfg = cfg.withDefaults()
 	scale := cfg.Scale() // validates geometry up front
 	_ = scale
+	reg := cfg.Telemetry
 
 	s := sim.New()
 	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.Seed, cfg.Duration.Seconds()+60)
@@ -86,9 +143,10 @@ func Run(cfg Config) *Results {
 		link.Send(netem.Packet{Seq: wireSeq, Size: f.WireSize(), Payload: f})
 		wireSeq++
 	})
+	pacer.SetTelemetry(reg)
 	cl = newClient(s, cfg, src, pacer)
 
-	res := &Results{Cfg: cfg}
+	res := &Results{Cfg: cfg, reg: reg}
 
 	// Periodic processes.
 	frameGap := time.Duration(float64(time.Second) / cfg.FPS)
@@ -120,6 +178,11 @@ func Run(cfg Config) *Results {
 	}
 	s.After(cfg.EpochLen, epoch)
 
+	// The metric loop observes the viewer-facing inference latency into
+	// core_infer_latency_ms; this histogram (not sr_infer_latency_ms, which
+	// only exists when an SR processor does) backs the run summary's p50/p99
+	// so the WebRTC baseline reports latency too.
+	hInfer := reg.Histogram("core_infer_latency_ms", telemetry.ExpBuckets(0.25, 1.5, 24))
 	var inferLatSum time.Duration
 	var inferLatN int
 	var metric func()
@@ -135,6 +198,12 @@ func Run(cfg Config) *Results {
 			res.Samples = append(res.Samples, qs)
 			inferLatSum += lat
 			inferLatN++
+			latMS := float64(lat) / float64(time.Millisecond)
+			hInfer.Observe(latMS)
+			reg.Emit(now, "infer_frame",
+				telemetry.Num("latency_ms", latMS),
+				telemetry.Num("psnr_db", qs.PSNR),
+			)
 		}
 		res.Bandwidth = append(res.Bandwidth, SeriesPoint{now, cl.ctrl.TargetKbps()})
 		res.Video = append(res.Video, SeriesPoint{now, cl.videoKbps()})
@@ -155,7 +224,6 @@ func Run(cfg Config) *Results {
 	res.AvgPSNR = metrics.Mean(psnrs)
 	res.AvgSSIM = metrics.Mean(ssims)
 	res.Grad = cl.gradSeries
-	res.Timeline = sv.timeline
 	res.GPUTrainBusy = sv.gpuTrainBusy
 	res.FramesDecoded = sv.framesDecoded
 	res.FramesLost = sv.framesLost

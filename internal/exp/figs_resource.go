@@ -61,7 +61,7 @@ func Fig16(o Options) *Table {
 		Title:  "Content-adaptive trainer in operation (ON/OFF timeline)",
 		Header: []string{"t(s)", "trainer"},
 	}
-	for _, st := range r.Timeline {
+	for _, st := range r.TrainerTimeline() {
 		t.Add(fmt.Sprintf("%.0f", st.T.Seconds()), st.State)
 	}
 	var changes []string

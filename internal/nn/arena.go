@@ -1,6 +1,9 @@
 package nn
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Arena is a free-list allocator for tensors and raw float32 scratch
 // buffers. The SR hot path — model forward, trainer step, strip-split
@@ -27,6 +30,23 @@ type Arena struct {
 	mu      sync.Mutex
 	tensors map[int][]*Tensor
 	bufs    map[int][][]float32
+
+	// hits/misses account free-list reuse vs fresh allocation across Get and
+	// GetBuf. Plain atomics rather than telemetry handles: the arena sits on
+	// the innermost hot path and must not depend on anything; internal/core
+	// bridges these totals into the run's telemetry registry (ArenaStats →
+	// nn_arena_* gauges and the train_epoch event).
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats reports cumulative free-list hits (recycled tensors/buffers) and
+// misses (fresh allocations) across Get and GetBuf.
+func (a *Arena) Stats() (hits, misses int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.hits.Load(), a.misses.Load()
 }
 
 // NewArena returns an empty arena.
@@ -42,8 +62,10 @@ func (a *Arena) Get(c, h, w int) *Tensor {
 	}
 	if t := a.popTensor(c * h * w); t != nil {
 		t.C, t.H, t.W = c, h, w
+		a.hits.Add(1)
 		return t
 	}
+	a.misses.Add(1)
 	return NewTensor(c, h, w)
 }
 
@@ -78,8 +100,10 @@ func (a *Arena) GetBuf(n int) []float32 {
 		return make([]float32, n)
 	}
 	if b := a.popBuf(n); b != nil {
+		a.hits.Add(1)
 		return b
 	}
+	a.misses.Add(1)
 	return make([]float32, n)
 }
 

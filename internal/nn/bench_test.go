@@ -53,7 +53,7 @@ func benchConvBackward(b *testing.B, ref bool) {
 	dOut := randTensor(benchC, benchH, benchW, rng)
 	SetRefKernels(ref)
 	defer SetRefKernels(false)
-	l.Forward(x) // cache the activation Backward consumes
+	l.Forward(x)                                                           // cache the activation Backward consumes
 	macs := int64(3 * benchC * benchC * benchK * benchK * benchH * benchW) // dIn + gradW + forward-equivalent
 	b.SetBytes(macs * 4)
 	b.ReportAllocs()

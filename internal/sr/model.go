@@ -105,6 +105,11 @@ func (m *Model) SetKernelPool(p *nn.Pool) {
 // Params exposes the learnable parameters (stable order).
 func (m *Model) Params() []nn.Param { return m.params }
 
+// ArenaStats reports the model's tensor-arena free-list hits and misses
+// (cumulative). In steady state hits dominate: the forward/backward chain
+// recycles the same handful of shapes every call.
+func (m *Model) ArenaStats() (hits, misses int64) { return m.arena.Stats() }
+
 // ParamCount returns the total number of learnable scalars.
 func (m *Model) ParamCount() int {
 	n := 0

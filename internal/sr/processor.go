@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"livenas/internal/frame"
+	"livenas/internal/telemetry"
 )
 
 // Processor applies super-resolution to decoded stream frames with
@@ -20,6 +21,11 @@ type Processor struct {
 	scale  int
 	mu     sync.Mutex
 	models []*Model
+
+	// Telemetry handles (nil until SetTelemetry; nil-safe).
+	mFrames *telemetry.Counter
+	mSyncs  *telemetry.Counter
+	mLatMS  *telemetry.Histogram
 }
 
 // haloLR is the per-side strip overlap at LR resolution; it covers the
@@ -42,6 +48,28 @@ func NewProcessor(model *Model, gpus int, dev Device) *Processor {
 // GPUs reports the number of inference devices.
 func (p *Processor) GPUs() int { return p.gpus }
 
+// SetTelemetry registers the processor's metrics on reg: per-frame
+// device-model inference latency (sr_infer_latency_ms), frames processed
+// (sr_infer_frames) and weight syncs (sr_infer_syncs). Handles are held, so
+// the per-frame cost is lock-free atomics only.
+func (p *Processor) SetTelemetry(reg *telemetry.Registry) {
+	p.mFrames = reg.Counter("sr_infer_frames")
+	p.mSyncs = reg.Counter("sr_infer_syncs")
+	p.mLatMS = reg.Histogram("sr_infer_latency_ms", telemetry.ExpBuckets(0.25, 1.5, 24))
+}
+
+// ArenaStats sums the replica models' arena free-list hits and misses.
+func (p *Processor) ArenaStats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range p.models {
+		h, ms := m.ArenaStats()
+		hits += h
+		misses += ms
+	}
+	return hits, misses
+}
+
 // Sync refreshes the processor's replica weights from model.
 func (p *Processor) Sync(model *Model) {
 	p.mu.Lock()
@@ -49,6 +77,7 @@ func (p *Processor) Sync(model *Model) {
 	for _, m := range p.models {
 		m.CopyWeightsFrom(model)
 	}
+	p.mSyncs.Inc()
 }
 
 // Process super-resolves lr and returns the upscaled frame together with
@@ -59,6 +88,8 @@ func (p *Processor) Process(lr *frame.Frame) (*frame.Frame, time.Duration) {
 	defer p.mu.Unlock()
 	s := p.scale
 	lat := p.dev.InferenceTime(lr.W, lr.H, s, p.gpus)
+	p.mFrames.Inc()
+	p.mLatMS.Observe(float64(lat) / float64(time.Millisecond))
 	if p.gpus == 1 || lr.H < p.gpus*haloLR*3 {
 		return p.models[0].SuperResolve(lr), lat
 	}

@@ -34,9 +34,9 @@ func FuzzWireRead(f *testing.F) {
 	for _, s := range fuzzSeeds(f) {
 		f.Add(s)
 		if len(s) > 5 {
-			f.Add(s[:5])            // truncated header/body boundary
-			f.Add(s[:len(s)-1])     // truncated body
-			f.Add(append(s, s...))  // trailing garbage after a valid message
+			f.Add(s[:5])           // truncated header/body boundary
+			f.Add(s[:len(s)-1])    // truncated body
+			f.Add(append(s, s...)) // trailing garbage after a valid message
 		}
 	}
 	f.Add([]byte{})

@@ -25,11 +25,11 @@ go test ./...
 echo "== differential kernel tests (GEMM engine vs scalar reference)"
 go test -count=1 -run 'TestConvGEMMMatchesRef|TestConvDeterministicAcrossPoolSizes|TestReLUAndPixelShuffleMatchRef' ./internal/nn
 
-echo "== kernel bench smoke (scripts/bench.sh -short)"
-scripts/bench.sh -short >/dev/null
+echo "== kernel bench smoke + regression gate (cmd/bench-compare)"
+go run ./cmd/bench-compare
 
 echo "== go test -race (concurrency tier)"
-go test -race ./internal/sr ./internal/wire ./internal/transport ./internal/core
+go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz ($FUZZTIME per target)"

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Tiered CI driver (.github/workflows/ci.yml runs both tiers; either runs
+# standalone on a laptop).
+#
+#   scripts/ci.sh fast    blocking tier: build, gofmt, go vet, livenas-vet,
+#                         short tests
+#   scripts/ci.sh full    merge tier: full tests, race tier, fuzz smoke
+#                         (FUZZTIME, default 10s, 0 skips), kernel-bench
+#                         regression gate vs BENCH_kernels.json
+#                         (cmd/bench-compare, BENCH_NOISE overrides the 15%
+#                         threshold), telemetry run-summary validation
+#
+# Each step is timed; the table goes to stdout and, when running under
+# GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIER="${1:-fast}"
+case "$TIER" in fast | full) ;; *)
+    echo "usage: scripts/ci.sh [fast|full]" >&2
+    exit 2
+    ;;
+esac
+
+STEP_NAMES=()
+STEP_SECS=()
+STEP_RCS=()
+
+finish() {
+    local rc=$?
+    {
+        echo
+        echo "### ci.sh $TIER tier"
+        echo
+        echo "| step | seconds | result |"
+        echo "| --- | ---: | --- |"
+        local i
+        for i in "${!STEP_NAMES[@]}"; do
+            echo "| ${STEP_NAMES[$i]} | ${STEP_SECS[$i]} | ${STEP_RCS[$i]} |"
+        done
+    } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+    exit "$rc"
+}
+trap finish EXIT
+
+step() {
+    local name="$1"
+    shift
+    echo "== $name"
+    local t0 t1 rc=0
+    t0=$(date +%s)
+    "$@" || rc=$?
+    t1=$(date +%s)
+    STEP_NAMES+=("$name")
+    STEP_SECS+=("$((t1 - t0))")
+    if [[ $rc -eq 0 ]]; then STEP_RCS+=("ok"); else STEP_RCS+=("FAIL($rc)"); fi
+    return "$rc"
+}
+
+gofmt_clean() {
+    local out
+    out="$(gofmt -l .)"
+    if [[ -n "$out" ]]; then
+        echo "gofmt: needs formatting:" >&2
+        echo "$out" >&2
+        return 1
+    fi
+}
+
+summary_gate() {
+    local f
+    f="$(mktemp -t run_summary.XXXXXX.json)"
+    # Reduced duration: the gate checks the summary pipeline end to end,
+    # not experiment statistics.
+    go run ./cmd/livenas-bench -summary "$f" -dur 40s -time=false
+    go run ./cmd/bench-compare -summary "$f"
+    rm -f "$f"
+}
+
+if [[ "$TIER" == "fast" ]]; then
+    step "go build" go build ./...
+    step "gofmt" gofmt_clean
+    step "go vet" go vet ./...
+    step "livenas-vet" go run ./cmd/livenas-vet ./...
+    step "go test -short" go test -short ./...
+else
+    FUZZTIME="${FUZZTIME:-10s}"
+    step "go build" go build ./...
+    step "go test" go test ./...
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core
+    if [[ "$FUZZTIME" != "0" ]]; then
+        step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
+        step "fuzz codec ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec
+    fi
+    step "bench gate" go run ./cmd/bench-compare
+    step "summary gate" summary_gate
+fi
+
+echo "== ci.sh $TIER tier passed"
