@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -358,5 +359,31 @@ func TestLossRecovery(t *testing.T) {
 	// Quality still reasonable (frozen frames during recovery are expected).
 	if r.AvgPSNR < 14 {
 		t.Fatalf("PSNR %.1f collapsed under 3%% loss", r.AvgPSNR)
+	}
+}
+
+// TestDedicatedPoolJoinedAtSessionEnd pins the ownership fix for dedicated
+// kernel pools: a session with KernelWorkers > 0 creates its own nn.Pool,
+// and Run must join those workers before returning (previously they leaked
+// for the process lifetime, one pool per session in experiment sweeps).
+func TestDedicatedPoolJoinedAtSessionEnd(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := defaultTestConfig(vidgen.JustChatting)
+	cfg.Trace = trace.FCCUplink(11, time.Minute, 250)
+	cfg.Duration = 10 * time.Second
+	cfg.KernelWorkers = 3
+	r := Run(cfg)
+	if r.FramesDecoded == 0 {
+		t.Fatal("session decoded no frames")
+	}
+	// Run closed the dedicated pool, so the goroutine count settles back
+	// to its pre-session level (poll: a joined worker's exit is observed
+	// by the scheduler a beat after WaitGroup.Wait returns).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%d goroutines outlive the session (had %d before); dedicated pool not joined", got, before)
 	}
 }

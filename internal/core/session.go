@@ -241,6 +241,7 @@ func Run(cfg Config) *Results {
 	res.AvgBandwidthKbps = meanSeries(res.Bandwidth)
 	res.AvgVideoKbps = meanSeries(res.Video)
 	res.AvgPatchKbps = meanSeries(res.Patch)
+	sv.close()
 	return res
 }
 

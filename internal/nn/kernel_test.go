@@ -86,6 +86,7 @@ func TestConvGEMMMatchesRef(t *testing.T) {
 	defer SetRefKernels(false)
 	rng := rand.New(rand.NewSource(42))
 	pool := NewPool(3)
+	defer pool.Close()
 	arena := NewArena()
 	for trial := 0; trial < 50; trial++ {
 		inC, outC, k, h, w := randShape(rng)
@@ -145,7 +146,9 @@ func TestConvDeterministicAcrossPoolSizes(t *testing.T) {
 		}
 		base := run(nil)
 		for _, workers := range []int{2, 5} {
-			got := run(NewPool(workers))
+			p := NewPool(workers)
+			got := run(p)
+			p.Close()
 			for name, pair := range map[string][2][]float32{
 				"out":   {base.out, got.out},
 				"dIn":   {base.dIn, got.dIn},
@@ -216,6 +219,7 @@ func TestReLUAndPixelShuffleMatchRef(t *testing.T) {
 
 func TestPoolRunCoversAllIndicesNested(t *testing.T) {
 	p := NewPool(4)
+	defer p.Close()
 	outer := make([]int, 16)
 	p.Run(len(outer), func(i int) {
 		inner := make([]int32, 8)
@@ -261,6 +265,7 @@ func FuzzConvForwardGEMM(f *testing.F) {
 	f.Add(uint8(3), uint8(3), uint8(2), uint8(39), uint8(2), int64(99))
 	f.Add(uint8(7), uint8(0), uint8(0), uint8(0), uint8(0), int64(-1))
 	pool := NewPool(2)
+	defer pool.Close()
 	arena := NewArena()
 	f.Fuzz(func(t *testing.T, inCRaw, outCRaw, kRaw, hRaw, wRaw uint8, seed int64) {
 		defer SetRefKernels(false)

@@ -24,8 +24,9 @@ import (
 // order, so results are bit-for-bit identical for any pool size, including
 // the inline size-1 pool.
 type Pool struct {
-	size int
-	jobs chan *poolJob
+	size    int
+	jobs    chan *poolJob
+	workers sync.WaitGroup
 }
 
 type poolJob struct {
@@ -56,14 +57,31 @@ func NewPool(workers int) *Pool {
 		return p
 	}
 	p.jobs = make(chan *poolJob, 4*workers)
+	p.workers.Add(workers)
 	for i := 0; i < workers; i++ {
+		// Workers live for the pool's lifetime, not NewPool's: they exit
+		// when Close drains the job channel and joins p.workers there.
+		//livenas:allow goroutine-leak joined by Pool.Close via p.workers, not by NewPool
 		go func() {
+			defer p.workers.Done()
 			for j := range p.jobs {
 				j.run()
 			}
 		}()
 	}
 	return p
+}
+
+// Close shuts the pool down: no Run may be in flight or started afterwards.
+// It closes the job channel and joins every worker, so tests and bounded
+// pipelines can prove no goroutine outlives the pool. Closing a nil or
+// inline pool is a no-op; the process-wide SharedPool is never closed.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	close(p.jobs)
+	p.workers.Wait()
 }
 
 // Size reports the worker count the pool was created with.

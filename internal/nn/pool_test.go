@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolCloseJoinsWorkers proves the ownership contract the goroutine-leak
+// check relies on: after Close returns, every worker goroutine the pool
+// spawned has exited, so a bounded pipeline (a core session with a dedicated
+// pool) leaves no goroutines behind.
+func TestPoolCloseJoinsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	p := NewPool(8)
+	var n atomic.Int64
+	p.Run(64, func(int) { n.Add(1) })
+	if n.Load() != 64 {
+		t.Fatalf("Run executed %d of 64 tasks", n.Load())
+	}
+	p.Close()
+
+	// Close joins via the pool's WaitGroup, but a worker's deferred Done
+	// runs a beat before the scheduler retires the goroutine, so poll
+	// briefly for the count to settle back to the pre-pool level.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%d goroutines outlive Close (had %d before the pool)", got, before)
+	}
+
+	// Closing nil and inline pools is a documented no-op.
+	var nilPool *Pool
+	nilPool.Close()
+	NewPool(1).Close()
+}

@@ -96,7 +96,9 @@ func TestConcurrentTrainInferSync(t *testing.T) {
 // data-race-free while weights churn.
 func TestConcurrentKernelPoolStress(t *testing.T) {
 	model := NewModel(2, 4, 1)
-	model.SetKernelPool(nn.NewPool(4))
+	pool := nn.NewPool(4)
+	defer pool.Close()
+	model.SetKernelPool(pool)
 	trainer := newStressTrainer(t, model)
 	for i := 0; i < 6; i++ { // larger samples: multi-block backward
 		lr := frame.New(48, 40)
