@@ -6,13 +6,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/livenas-vet [-checks c1,c2] [-list] [packages]
+//	go run ./cmd/livenas-vet [-checks c1,c2] [-list] [-json] \
+//	    [-baseline file] [-write-baseline file] [packages]
 //
 // Package patterns are import-path prefixes relative to the module root:
 // "./..." (default) analyses everything, "./internal/..." a subtree, and
 // "./internal/sr" a single package. Findings are silenced in place with a
 // `//livenas:allow <check> <why>` directive; see DESIGN.md "Correctness
-// tooling". Exit status is 1 when findings remain, 2 on load failure.
+// tooling".
+//
+// -json renders findings as a stable JSON array with module-root-relative
+// paths. -baseline filters findings through a committed acceptance file
+// (analysis/baseline.json): only findings absent from the baseline fail
+// the gate, and entries that no longer match anything are reported as
+// stale. -write-baseline regenerates that file from the current findings,
+// carrying existing justifications over; new entries are written with an
+// empty justification that must be filled in before the baseline loads.
+//
+// Exit status is 1 when (non-baselined) findings remain, 2 on load
+// failure or an invalid baseline.
 package main
 
 import (
@@ -28,8 +40,11 @@ import (
 
 func main() {
 	var (
-		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		list       = flag.Bool("list", false, "list available checks and exit")
+		checksFlag    = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list          = flag.Bool("list", false, "list available checks and exit")
+		jsonOut       = flag.Bool("json", false, "render findings as a JSON array with module-relative paths")
+		baselinePath  = flag.String("baseline", "", "filter findings through this committed baseline file")
+		writeBaseline = flag.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	)
 	flag.Parse()
 
@@ -82,12 +97,52 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, checks)
-	for _, d := range diags {
-		rel := d
-		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil {
-			rel.Pos.Filename = r
+
+	if *writeBaseline != "" {
+		// Best effort: carry justifications over from the old file; a
+		// missing or invalid old baseline just means starting fresh.
+		prev, _ := analysis.LoadBaseline(*writeBaseline)
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		fmt.Println(rel)
+		b := analysis.NewBaseline(diags, prev)
+		if err := b.WriteBaseline(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		if err := b.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "livenas-vet: wrote %s, but it will not load until justified: %v\n", *writeBaseline, err)
+		}
+		return
+	}
+
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		fresh, stale := b.Apply(diags)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "livenas-vet: warning: stale baseline entry (%s in %s): finding no longer present, remove it\n", e.Check, e.Package)
+		}
+		diags = fresh
+	}
+
+	if *jsonOut {
+		if err := analysis.RenderJSON(os.Stdout, diags, root); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -31,18 +31,26 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// PkgPath is the import path of the package the finding is in; the
+	// baseline matcher keys on it (with check and message) so findings
+	// survive being moved within a package.
+	PkgPath string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
 }
 
-// A Check is one named analysis pass. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// A Check is one named analysis pass. Exactly one of Run and RunModule is
+// set: Run inspects a single type-checked package; RunModule sees the whole
+// module at once through the call-graph/CFG/summary substrate (callgraph.go,
+// cfg.go, dataflow.go, summary.go) and is how the interprocedural checks —
+// arena-lifetime, goroutine-leak, lock-order — are built.
 type Check struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // AllChecks returns the full registry in stable order.
@@ -54,6 +62,9 @@ func AllChecks() []*Check {
 		SwitchExhaustiveness,
 		HotLoopPrecision,
 		TelemetryHotPath,
+		ArenaLifetime,
+		GoroutineLeak,
+		LockOrder,
 	}
 }
 
@@ -87,17 +98,103 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:     position,
 		Check:   p.Check.Name,
 		Message: fmt.Sprintf(format, args...),
+		PkgPath: p.Pkg.Path,
+	})
+}
+
+// Module is the whole-module view the interprocedural checks run against:
+// every loaded package plus the lazily shared call graph and function
+// summaries.
+type Module struct {
+	Pkgs  []*Package
+	Fset  *token.FileSet
+	Graph *CallGraph
+	Sums  *Summaries
+
+	filePkg map[string]*Package
+}
+
+// NewModule builds the substrate once for a package set.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, filePkg: map[string]*Package{}}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if m.Fset != nil {
+				m.filePkg[m.Fset.Position(f.Pos()).Filename] = pkg
+			}
+		}
+	}
+	m.Graph = BuildCallGraph(pkgs)
+	m.Sums = ComputeSummaries(m.Graph)
+	return m
+}
+
+// PackageAt returns the package owning the file at position, or nil.
+func (m *Module) PackageAt(pos token.Position) *Package {
+	return m.filePkg[pos.Filename]
+}
+
+// ModulePass carries one module-wide check and collects its findings.
+type ModulePass struct {
+	Check *Check
+	Mod   *Module
+
+	supp  *suppressions
+	diags *[]Diagnostic
+}
+
+// Reportf records a module-check finding unless an allow directive covers
+// it, attributing the diagnostic to the package owning the position's file.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	if p.supp.suppressed(p.Check.Name, position) {
+		return
+	}
+	pkgPath := ""
+	if pkg := p.Mod.PackageAt(position); pkg != nil {
+		pkgPath = pkg.Path
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Check.Name,
+		Message: fmt.Sprintf(format, args...),
+		PkgPath: pkgPath,
 	})
 }
 
 // Run executes checks over every package and returns the surviving
-// diagnostics sorted by file, line, column, then check name.
+// diagnostics sorted by file, line, column, then check name. Module-wide
+// checks run once against the whole package set; the substrate (call graph
+// and summaries) is built only when at least one such check is selected.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		supp := collectSuppressions(pkg.Fset, pkg.Files)
 		for _, c := range checks {
+			if c.Run == nil {
+				continue
+			}
 			c.Run(&Pass{Check: c, Fset: pkg.Fset, Pkg: pkg, supp: supp, diags: &diags})
+		}
+	}
+	var modChecks []*Check
+	for _, c := range checks {
+		if c.RunModule != nil {
+			modChecks = append(modChecks, c)
+		}
+	}
+	if len(modChecks) > 0 && len(pkgs) > 0 {
+		mod := NewModule(pkgs)
+		var allFiles []*ast.File
+		for _, pkg := range pkgs {
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		supp := collectSuppressions(mod.Fset, allFiles)
+		for _, c := range modChecks {
+			c.RunModule(&ModulePass{Check: c, Mod: mod, supp: supp, diags: &diags})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

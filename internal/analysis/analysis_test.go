@@ -25,6 +25,9 @@ var fixtureChecks = []struct {
 	{"exhaustive", "switch-exhaustiveness"},
 	{"hotloop", "hot-loop-precision"},
 	{"telemetryhot", "telemetry-hot-path"},
+	{"arenalifetime", "arena-lifetime"},
+	{"goroutineleak", "goroutine-leak"},
+	{"lockorder", "lock-order"},
 }
 
 func loadFixture(t *testing.T, dir string) []*Package {
@@ -141,8 +144,11 @@ func TestParseDirective(t *testing.T) {
 }
 
 // TestRepoIsVetClean loads the real module and requires every check to
-// pass on it — the same gate `go run ./cmd/livenas-vet ./...` enforces,
-// wired into the ordinary test suite so tier-1 catches regressions.
+// pass on it after applying the committed baseline — the same gate
+// `go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...`
+// enforces, wired into the ordinary test suite so tier-1 catches
+// regressions. Stale baseline entries also fail: an entry whose finding
+// was fixed must be removed, not left as a latent suppression.
 func TestRepoIsVetClean(t *testing.T) {
 	wd, err := os.Getwd()
 	if err != nil {
@@ -162,7 +168,40 @@ func TestRepoIsVetClean(t *testing.T) {
 			t.Errorf("%s: type error: %v", p.Path, e)
 		}
 	}
-	for _, d := range Run(pkgs, AllChecks()) {
+	diags := Run(pkgs, AllChecks())
+	b, err := LoadBaseline(filepath.Join(root, "analysis", "baseline.json"))
+	if err != nil {
+		t.Fatalf("committed baseline: %v", err)
+	}
+	fresh, stale := b.Apply(diags)
+	for _, d := range fresh {
 		t.Errorf("%s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (%s in %s): finding no longer present, remove it from analysis/baseline.json", e.Check, e.Package)
+	}
+}
+
+// BenchmarkVetFullModule measures a whole-module analyzer run: load,
+// type-check, call graph, summaries, and every check. This is the cost a
+// developer pays per `livenas-vet ./...` invocation in the fast CI tier.
+func BenchmarkVetFullModule(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, modPath, err := FindModule(wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l := NewLoader(token.NewFileSet(), root, modPath)
+		pkgs, err := l.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := Run(pkgs, AllChecks()); len(diags) == 0 {
+			b.Fatal("expected at least the baselined finding")
+		}
 	}
 }

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file implements the analyzer's machine-readable surface: -json
+// rendering and the committed-baseline workflow (analysis/baseline.json).
+// A baseline entry identifies a finding by check name, package path, and
+// message — deliberately not by file position, so a finding that merely
+// moves (its file is renamed, code above it grows) stays matched while a
+// genuinely new finding of the same check in the same package with a
+// different message fails the gate. Every entry must carry a human
+// justification; an empty one is a hard configuration error, so the
+// baseline cannot become a silent suppression list.
+
+// A JSONDiagnostic is the stable wire form of one finding. File paths are
+// normalized to slash-separated module-root-relative form so output is
+// reproducible across checkouts.
+type JSONDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Package string `json:"package"`
+	Message string `json:"message"`
+}
+
+// RenderJSON writes the diagnostics as an indented JSON array (always an
+// array, never null) in stable order: Run already sorts by position, and
+// the normalized paths keep that order machine-comparable.
+func RenderJSON(w io.Writer, diags []Diagnostic, root string) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:    normalizePath(d.Pos.Filename, root),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Package: d.PkgPath,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// normalizePath makes filename root-relative with forward slashes; a file
+// outside root keeps its original (slash-normalized) path.
+func normalizePath(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !isDotDot(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+func isDotDot(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+// A BaselineEntry is one accepted finding with its justification.
+type BaselineEntry struct {
+	Check         string `json:"check"`
+	Package       string `json:"package"`
+	Message       string `json:"message"`
+	Justification string `json:"justification"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Check + "\x00" + e.Package + "\x00" + e.Message
+}
+
+// A Baseline is the committed set of accepted findings.
+type Baseline struct {
+	// Comment explains the file to readers; the tool ignores it.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Validate enforces the no-silent-suppressions contract: every entry names
+// a known check and carries a non-empty justification, and no entry is
+// duplicated.
+func (b *Baseline) Validate() error {
+	seen := map[string]bool{}
+	for i, e := range b.Findings {
+		if e.Check == "" || e.Package == "" || e.Message == "" {
+			return fmt.Errorf("findings[%d]: check, package, and message are all required", i)
+		}
+		if CheckByName(e.Check) == nil {
+			return fmt.Errorf("findings[%d]: unknown check %q", i, e.Check)
+		}
+		if e.Justification == "" {
+			return fmt.Errorf("findings[%d] (%s in %s): empty justification; explain why this finding is accepted", i, e.Check, e.Package)
+		}
+		if seen[e.key()] {
+			return fmt.Errorf("findings[%d]: duplicate entry for %s in %s", i, e.Check, e.Package)
+		}
+		seen[e.key()] = true
+	}
+	return nil
+}
+
+// Apply splits diagnostics into new findings (not covered by the baseline)
+// and reports which entries are stale (matched nothing — the underlying
+// issue was fixed and the entry should be removed). Matching is by
+// check+package+message, so findings that moved lines stay covered.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	matched := map[string]bool{}
+	covered := map[string]bool{}
+	for _, e := range b.Findings {
+		covered[e.key()] = true
+	}
+	for _, d := range diags {
+		k := diagKey(d)
+		if covered[k] {
+			matched[k] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+func diagKey(d Diagnostic) string {
+	return d.Check + "\x00" + d.PkgPath + "\x00" + d.Message
+}
+
+// NewBaseline builds a baseline accepting the given diagnostics, carrying
+// over justifications from prev for entries that persist. Entries for new
+// findings get an empty justification, which Validate rejects — the author
+// must fill them in before the baseline loads, keeping every acceptance
+// deliberate.
+func NewBaseline(diags []Diagnostic, prev *Baseline) *Baseline {
+	just := map[string]string{}
+	if prev != nil {
+		for _, e := range prev.Findings {
+			just[e.key()] = e.Justification
+		}
+	}
+	b := &Baseline{
+		Comment: "Accepted livenas-vet findings. Regenerate with scripts/vet-baseline.sh; every entry needs a justification.",
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		e := BaselineEntry{Check: d.Check, Package: d.PkgPath, Message: d.Message}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		e.Justification = just[e.key()]
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		if a.Package != c.Package {
+			return a.Package < c.Package
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON. HTML escaping is
+// off so justifications keep characters like "->" readable in diffs.
+func (b *Baseline) WriteBaseline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

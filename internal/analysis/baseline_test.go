@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestRenderJSONGolden locks down the -json wire format against a committed
+// golden file: stable position-sorted ordering, slash-separated module-root-
+// relative paths, and an array (never null) even for the single-finding
+// case. Regenerate with `go test ./internal/analysis -run Golden -update`.
+func TestRenderJSONGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "arenalifetime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixture(t, "arenalifetime")
+	diags := Run(pkgs, []*Check{CheckByName("arena-lifetime")})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "arenalifetime.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Errorf("JSON output drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Paths must never leak the checkout location.
+	if strings.Contains(buf.String(), root) {
+		t.Errorf("JSON output contains absolute paths:\n%s", buf.String())
+	}
+}
+
+func mkDiag(check, pkg, msg, file string, line int) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: file, Line: line, Column: 2},
+		Check:   check,
+		PkgPath: pkg,
+		Message: msg,
+	}
+}
+
+// TestBaselineApplyIgnoresMovedFindings proves the matching contract:
+// entries identify findings by check+package+message, never by position,
+// so a finding that moves (file renamed, lines shifted) stays covered
+// while any change to the message surfaces as fresh.
+func TestBaselineApplyIgnoresMovedFindings(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{{
+		Check:         "lock-order",
+		Package:       "livenas/internal/sr",
+		Message:       "cycle on Model.mu",
+		Justification: "documented one-way copy contract",
+	}}}
+
+	// Same finding at a completely different position: still covered.
+	fresh, stale := b.Apply([]Diagnostic{
+		mkDiag("lock-order", "livenas/internal/sr", "cycle on Model.mu", "renamed.go", 999),
+	})
+	if len(fresh) != 0 {
+		t.Errorf("moved finding reported fresh: %v", fresh)
+	}
+	if len(stale) != 0 {
+		t.Errorf("matched entry reported stale: %v", stale)
+	}
+
+	// Different message in the same package: fresh, and the entry is stale.
+	fresh, stale = b.Apply([]Diagnostic{
+		mkDiag("lock-order", "livenas/internal/sr", "a different cycle", "model.go", 143),
+	})
+	if len(fresh) != 1 {
+		t.Errorf("new finding not reported fresh: %v", fresh)
+	}
+	if len(stale) != 1 {
+		t.Errorf("unmatched entry not reported stale: %v", stale)
+	}
+}
+
+func TestBaselineValidate(t *testing.T) {
+	ok := BaselineEntry{
+		Check:         "lock-order",
+		Package:       "p",
+		Message:       "m",
+		Justification: "j",
+	}
+	cases := []struct {
+		name    string
+		entries []BaselineEntry
+		wantErr string
+	}{
+		{"valid", []BaselineEntry{ok}, ""},
+		{"empty justification", []BaselineEntry{{Check: "lock-order", Package: "p", Message: "m"}}, "empty justification"},
+		{"unknown check", []BaselineEntry{{Check: "no-such-check", Package: "p", Message: "m", Justification: "j"}}, "unknown check"},
+		{"missing fields", []BaselineEntry{{Check: "lock-order", Justification: "j"}}, "required"},
+		{"duplicate", []BaselineEntry{ok, ok}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := (&Baseline{Findings: tc.entries}).Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewBaselineCarriesJustifications checks regeneration semantics:
+// persisting findings keep their justification, new ones get an empty
+// string (so the file refuses to load until a human fills it in), and
+// duplicate diagnostics collapse to one sorted entry.
+func TestNewBaselineCarriesJustifications(t *testing.T) {
+	prev := &Baseline{Findings: []BaselineEntry{{
+		Check: "lock-order", Package: "p", Message: "old", Justification: "keep me",
+	}}}
+	b := NewBaseline([]Diagnostic{
+		mkDiag("mutex-hygiene", "q", "new finding", "f.go", 2),
+		mkDiag("lock-order", "p", "old", "f.go", 9),
+		mkDiag("lock-order", "p", "old", "g.go", 1), // duplicate message, other file
+	}, prev)
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(b.Findings), b.Findings)
+	}
+	// Sorted by check name: lock-order first.
+	if b.Findings[0].Justification != "keep me" {
+		t.Errorf("persisting entry lost its justification: %+v", b.Findings[0])
+	}
+	if b.Findings[1].Justification != "" {
+		t.Errorf("new entry should have empty justification: %+v", b.Findings[1])
+	}
+	if err := b.Validate(); err == nil {
+		t.Error("baseline with an unjustified entry must not validate")
+	}
+}

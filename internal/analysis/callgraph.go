@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the whole-module half of the analysis substrate: a static
+// call graph over every declared function and method of the loaded
+// packages, plus its strongly connected components in bottom-up (callee
+// before caller) order. The interprocedural checks walk the SCCs to compute
+// per-function summaries that converge even through recursion, then make
+// one reporting pass with the summaries fixed (see summary.go).
+//
+// Edges are static: direct calls to declared functions and to methods with
+// a concrete receiver. Calls through interfaces, function values, and
+// non-module code have no edge; checks treat such call sites as "unknown
+// callee" and fall back to their conservative default (e.g. the arena check
+// assumes ownership escapes).
+
+// A FuncInfo is one declared function or method of the module.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Callees are the statically resolved module-internal callees, deduped,
+	// in first-call-site order. Calls inside function literals declared in
+	// the body count as calls of this function: the literal runs with the
+	// function's dynamic extent for every pattern the checks care about
+	// (pool tasks, spawned goroutines the function joins).
+	Callees []*FuncInfo
+
+	// Lits are the function literals declared (at any depth) in the body.
+	Lits []*ast.FuncLit
+}
+
+// A CallGraph indexes the module's functions and their SCCs.
+type CallGraph struct {
+	// Funcs maps every declared function object to its node.
+	Funcs map[*types.Func]*FuncInfo
+	// Nodes lists the functions in deterministic (package, position) order.
+	Nodes []*FuncInfo
+	// SCCs holds the strongly connected components in bottom-up order:
+	// every SCC appears after all SCCs it calls into.
+	SCCs [][]*FuncInfo
+}
+
+// BuildCallGraph constructs the call graph of the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: map[*types.Func]*FuncInfo{}}
+	// Pass 1: nodes.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				g.Funcs[obj] = fi
+				g.Nodes = append(g.Nodes, fi)
+			}
+		}
+	}
+	// Pass 2: edges and literals.
+	for _, fi := range g.Nodes {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		seen := map[*FuncInfo]bool{}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				fi.Lits = append(fi.Lits, e)
+			case *ast.CallExpr:
+				if callee := StaticCallee(fi.Pkg.Info, e); callee != nil {
+					if target := g.Funcs[callee]; target != nil && !seen[target] {
+						seen[target] = true
+						fi.Callees = append(fi.Callees, target)
+					}
+				}
+			}
+			return true
+		})
+	}
+	g.computeSCCs()
+	return g
+}
+
+// StaticCallee resolves the declared *types.Func a call expression
+// statically invokes: a package-level function, a method with a concrete
+// receiver, or a dotted cross-package function. Returns nil for builtins,
+// conversions, function values, and interface method calls.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil
+			}
+			// An interface method has no body to analyze; the declared
+			// concrete methods carry the Funcs entries, so an abstract
+			// method simply fails the lookup at the caller.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn
+		}
+		// Package-qualified call (pkg.Fn).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// computeSCCs runs Tarjan's algorithm. Tarjan emits each component only
+// after every component it can reach, so the natural emission order is
+// exactly the bottom-up order the summary computation wants.
+func (g *CallGraph) computeSCCs() {
+	index := map[*FuncInfo]int{}
+	low := map[*FuncInfo]int{}
+	onStack := map[*FuncInfo]bool{}
+	var stack []*FuncInfo
+	next := 0
+
+	var strongconnect func(v *FuncInfo)
+	strongconnect = func(v *FuncInfo) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*FuncInfo
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			g.SCCs = append(g.SCCs, scc)
+		}
+	}
+	for _, v := range g.Nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+}
+
+// BottomUp invokes update on every function in callee-before-caller order,
+// iterating each SCC until no update call inside it reports a change — the
+// standard interprocedural summary fixpoint (recursive cycles converge
+// because summary lattices only grow).
+func (g *CallGraph) BottomUp(update func(fi *FuncInfo) (changed bool)) {
+	for _, scc := range g.SCCs {
+		// The iteration bound backstops a non-monotone summarizer: a real
+		// fixpoint converges in a handful of rounds (SCCs here are almost
+		// always singletons), and a capped approximation is still sound for
+		// the checks, which treat summaries as best-effort evidence.
+		for round := 0; round < len(scc)+8; round++ {
+			changed := false
+			for _, fi := range scc {
+				if update(fi) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// sortNodesByPos is used internally by checks that need deterministic
+// reporting order independent of map iteration.
+func sortNodesByPos(nodes []*FuncInfo) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].Decl.Pos() < nodes[j].Decl.Pos()
+	})
+}

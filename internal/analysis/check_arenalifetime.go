@@ -1,0 +1,641 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ArenaLifetime enforces the tensor-arena ownership contract of
+// internal/nn (DESIGN.md "Kernel engine"): every value obtained from an
+// arena's Get/GetBuf must be handed back with Put/PutBuf exactly once on
+// every path through its owner, or its ownership must demonstrably move —
+// returned to the caller, stored into a structure, or passed to a callee
+// whose summary says it retains or releases the value. The analysis is a
+// forward dataflow over the function's CFG with ownership transfer modeled
+// through the bottom-up call-graph summaries, so a helper that releases its
+// argument (or a constructor that returns a fresh arena value) is
+// understood across function boundaries.
+var ArenaLifetime = &Check{
+	Name: "arena-lifetime",
+	Doc: "a value obtained from an nn.Arena (Get/GetBuf) is not returned to " +
+		"the arena on every path, is released twice, or is discarded " +
+		"unreleased; release it on all paths (including early returns) or " +
+		"annotate a deliberate transfer with //livenas:allow arena-lifetime",
+	RunModule: runArenaLifetime,
+}
+
+// arenaScope names the path segments of the packages whose functions are
+// *reported on*. Summaries are computed module-wide so ownership transfer
+// into helpers outside these packages is still modeled.
+var arenaScope = []string{"nn", "sr"}
+
+// arenaState is the lifecycle lattice of one tracked arena value.
+type arenaState uint8
+
+const (
+	arUntracked arenaState = iota
+	arLive                 // obtained, not yet released
+	arReleased             // handed back via Put/PutBuf (or a releasing callee)
+	arEscaped              // ownership moved: returned, stored, or retained by a callee
+)
+
+// joinArena merges two path states. Escape dominates (the value is no
+// longer this function's to release); a value live on one path and
+// released on another is still a leak, so live dominates released.
+func joinArena(a, b arenaState) arenaState {
+	if a == b {
+		return a
+	}
+	if a == arEscaped || b == arEscaped {
+		return arEscaped
+	}
+	if a == arLive || b == arLive {
+		return arLive
+	}
+	return arReleased // released ⊔ untracked
+}
+
+// arenaFact maps tracked objects (locals and parameters) to their state.
+type arenaFact map[types.Object]arenaState
+
+// arenaFlow is the FlowProblem for one function-like unit (a declared
+// function or a function literal).
+type arenaFlow struct {
+	info    *types.Info
+	modPath string
+	sums    *Summaries
+
+	// params are tracked from entry in the arLive state so the exit fact
+	// yields the function's release/retain summary.
+	params []*types.Var
+
+	// roots records, for values obtained inside this unit, the expression
+	// to report at. Mutated during transfer; gen sites are deterministic.
+	roots map[types.Object]ast.Expr
+
+	// record is set only during the WalkFacts replay pass: the fixpoint
+	// loop calls Transfer repeatedly with intermediate facts, and only the
+	// replay over the converged solution may collect reportable events.
+	record bool
+
+	// discarded collects Get calls whose result is dropped on the floor
+	// (assigned to the blank identifier).
+	discarded []ast.Expr
+
+	// doubles collects Put calls whose argument was already released.
+	doubles []ast.Expr
+}
+
+func newArenaFlow(pkg *Package, sums *Summaries, params []*types.Var) *arenaFlow {
+	return &arenaFlow{
+		info:    pkg.Info,
+		modPath: pkg.ModPath,
+		sums:    sums,
+		params:  params,
+		roots:   map[types.Object]ast.Expr{},
+	}
+}
+
+func (f *arenaFlow) Entry() Fact {
+	in := arenaFact{}
+	for _, p := range f.params {
+		if trackableArenaType(p.Type(), f.modPath) {
+			in[p] = arLive
+		}
+	}
+	return in
+}
+
+func (f *arenaFlow) Join(a, b Fact) Fact {
+	am, bm := a.(arenaFact), b.(arenaFact)
+	out := arenaFact{}
+	for k, v := range am {
+		out[k] = v
+	}
+	for k, v := range bm {
+		out[k] = joinArena(out[k], v)
+	}
+	return out
+}
+
+func (f *arenaFlow) Equal(a, b Fact) bool {
+	am, bm := a.(arenaFact), b.(arenaFact)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k, v := range am {
+		if bm[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *arenaFlow) clone(in arenaFact) arenaFact {
+	out := make(arenaFact, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func (f *arenaFlow) Transfer(stmt ast.Stmt, in Fact) Fact {
+	out := f.clone(in.(arenaFact))
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		// Effects of the right-hand sides first, then the bindings.
+		for _, rhs := range st.Rhs {
+			f.exprEffects(rhs, out, false)
+		}
+		f.bindings(st, out)
+		// A tracked value stored through a non-ident LHS escapes.
+		for i, lhs := range st.Lhs {
+			if _, ok := unparen(lhs).(*ast.Ident); ok {
+				continue
+			}
+			_ = i
+			// Composite LHS (field, index, deref): if the matching RHS is a
+			// tracked ident it escaped; exprEffects on the RHS already walks
+			// it, but a bare ident RHS has no call to trigger escape, so
+			// handle it here.
+			if len(st.Rhs) == len(st.Lhs) {
+				if obj := identObj(f.info, st.Rhs[i]); obj != nil && out[obj] != arUntracked {
+					out[obj] = arEscaped
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			f.exprEffects(res, out, false)
+			if obj := identObj(f.info, res); obj != nil && out[obj] != arUntracked {
+				out[obj] = arEscaped
+			}
+		}
+	case *ast.SendStmt:
+		f.exprEffects(st.Value, out, false)
+		if obj := identObj(f.info, st.Value); obj != nil && out[obj] != arUntracked {
+			out[obj] = arEscaped
+		}
+	case *ast.DeferStmt:
+		// A deferred release runs at every exit reached after this point;
+		// modeling it as an immediate release is exact for leak detection
+		// (paths that return before the defer still see the value live).
+		f.callEffects(st.Call, out, true)
+	case *ast.GoStmt:
+		f.callEffects(st.Call, out, false)
+	case *ast.RangeStmt:
+		f.exprEffects(st.X, out, false)
+		// The iteration variables are rebound from the container every
+		// trip; any state from a previous binding is dead.
+		for _, e := range []ast.Expr{st.Key, st.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := unparen(e).(*ast.Ident); ok {
+				if obj := defOrUse(f.info, id); obj != nil {
+					delete(out, obj)
+				}
+			}
+		}
+	default:
+		for _, e := range ExprsOf(stmt) {
+			f.exprEffects(e, out, false)
+		}
+	}
+	return out
+}
+
+// bindings applies the LHS bindings of an assignment: idents assigned a
+// fresh arena value become live; idents assigned a tracked value alias it
+// (both conservatively escape); anything else is untouched.
+func (f *arenaFlow) bindings(st *ast.AssignStmt, out arenaFact) {
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := unparen(st.Rhs[i])
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if f.isArenaGet(call) || f.calleeReturnsArena(call, 0) {
+					if id.Name == "_" {
+						if f.record {
+							f.discarded = append(f.discarded, call)
+						}
+						continue
+					}
+					if obj := defOrUse(f.info, id); obj != nil {
+						out[obj] = arLive
+						if _, seen := f.roots[obj]; !seen {
+							f.roots[obj] = call
+						}
+					}
+					continue
+				}
+			}
+			// Alias: `y := x` with x tracked makes both unanalyzable.
+			if src := identObj(f.info, rhs); src != nil && out[src] != arUntracked {
+				out[src] = arEscaped
+				if dst := defOrUse(f.info, id); dst != nil {
+					out[dst] = arEscaped
+				}
+				continue
+			}
+			// Strong update: rebinding the variable to an untracked value
+			// kills any state from its previous binding (g = ng in a
+			// backprop loop must not keep g's old lifecycle).
+			if id.Name != "_" {
+				if dst := defOrUse(f.info, id); dst != nil {
+					delete(out, dst)
+				}
+			}
+		}
+		return
+	}
+	// Multi-value form: v1, v2 := f() — bind any result slot the callee
+	// summary marks as arena-owned.
+	if len(st.Rhs) == 1 {
+		if call, ok := unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			for j, lhs := range st.Lhs {
+				id, ok := unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if f.calleeReturnsArena(call, j) {
+					if obj := defOrUse(f.info, id); obj != nil {
+						out[obj] = arLive
+						if _, seen := f.roots[obj]; !seen {
+							f.roots[obj] = call
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exprEffects applies the effects of evaluating e: releases at Put sites,
+// ownership transfer into retaining callees, escapes through address-of,
+// closures, and unknown calls. It walks nested expressions but not into
+// function literal bodies (a literal capturing a tracked value escapes it).
+func (f *arenaFlow) exprEffects(e ast.Expr, out arenaFact, deferred bool) {
+	switch x := unparen(e).(type) {
+	case *ast.CallExpr:
+		f.callEffects(x, out, deferred)
+	case *ast.FuncLit:
+		f.escapeCaptured(x, out)
+	case *ast.UnaryExpr:
+		if obj := identObj(f.info, x.X); obj != nil && out[obj] != arUntracked {
+			// &x (or any unary use that could alias) escapes.
+			out[obj] = arEscaped
+			return
+		}
+		f.exprEffects(x.X, out, deferred)
+	case *ast.BinaryExpr:
+		f.exprEffects(x.X, out, deferred)
+		f.exprEffects(x.Y, out, deferred)
+	case *ast.SelectorExpr:
+		// Reading a field of a tracked value (t.Data) is a borrow.
+		f.exprEffects(x.X, out, deferred)
+	case *ast.IndexExpr:
+		f.exprEffects(x.X, out, deferred)
+		f.exprEffects(x.Index, out, deferred)
+	case *ast.SliceExpr:
+		f.exprEffects(x.X, out, deferred)
+	case *ast.StarExpr:
+		f.exprEffects(x.X, out, deferred)
+	case *ast.CompositeLit:
+		// A tracked value placed in a composite literal escapes.
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if obj := identObj(f.info, elt); obj != nil && out[obj] != arUntracked {
+				out[obj] = arEscaped
+				continue
+			}
+			f.exprEffects(elt, out, deferred)
+		}
+	case *ast.TypeAssertExpr:
+		f.exprEffects(x.X, out, deferred)
+	}
+}
+
+// callEffects applies one call's effects on the tracked values.
+func (f *arenaFlow) callEffects(call *ast.CallExpr, out arenaFact, deferred bool) {
+	// Nested calls in arguments first (g(h(x))).
+	for _, arg := range call.Args {
+		if inner, ok := unparen(arg).(*ast.CallExpr); ok {
+			f.callEffects(inner, out, deferred)
+		} else if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+			f.escapeCaptured(lit, out)
+		}
+	}
+	if f.isArenaGet(call) {
+		// A Get whose result this statement does not bind is handled by the
+		// binding logic / report pass; nothing flows here.
+		return
+	}
+	if f.isArenaPut(call) {
+		if len(call.Args) == 1 {
+			if obj := identObj(f.info, call.Args[0]); obj != nil {
+				switch out[obj] {
+				case arLive:
+					out[obj] = arReleased
+				case arReleased:
+					if f.record {
+						f.doubles = append(f.doubles, call)
+					}
+				default:
+					// Untracked or escaped: nothing provable about this Put.
+				}
+				return
+			}
+		}
+		return
+	}
+	callee := StaticCallee(f.info, call)
+	var sum *FuncSummary
+	if callee != nil {
+		sum = f.sums.Of(callee)
+	}
+	for i, arg := range call.Args {
+		obj := identObj(f.info, arg)
+		if obj == nil || out[obj] == arUntracked || out[obj] == arEscaped {
+			// Non-ident argument mentioning a tracked value (t.Data, t[i:j])
+			// is a borrow; walk it for nested effects only.
+			f.exprEffects(arg, out, deferred)
+			continue
+		}
+		switch {
+		case sum != nil && i < len(sum.ReleasesParam) && sum.ReleasesParam[i]:
+			if out[obj] == arReleased {
+				f.doubles = append(f.doubles, call)
+			}
+			out[obj] = arReleased
+		case sum != nil && i < len(sum.RetainsParam) && sum.RetainsParam[i]:
+			out[obj] = arEscaped
+		case sum != nil:
+			// Known callee that neither releases nor retains: a borrow.
+		default:
+			// Unknown callee (interface, func value, non-module code):
+			// assume ownership moved.
+			out[obj] = arEscaped
+		}
+	}
+}
+
+// escapeCaptured escapes every tracked object referenced inside a function
+// literal: the closure may outlive the statement.
+func (f *arenaFlow) escapeCaptured(lit *ast.FuncLit, out arenaFact) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := f.info.Uses[id]; obj != nil && out[obj] != arUntracked {
+				out[obj] = arEscaped
+			}
+		}
+		return true
+	})
+}
+
+// isArenaGet reports whether call obtains a value from a module Arena.
+func (f *arenaFlow) isArenaGet(call *ast.CallExpr) bool {
+	return arenaMethod(f.info, f.modPath, call, "Get", "GetBuf")
+}
+
+// isArenaPut reports whether call returns a value to a module Arena.
+func (f *arenaFlow) isArenaPut(call *ast.CallExpr) bool {
+	return arenaMethod(f.info, f.modPath, call, "Put", "PutBuf")
+}
+
+func (f *arenaFlow) calleeReturnsArena(call *ast.CallExpr, result int) bool {
+	callee := StaticCallee(f.info, call)
+	sum := f.sums.Of(callee)
+	return sum != nil && result < len(sum.ReturnsArena) && sum.ReturnsArena[result]
+}
+
+// arenaMethod reports whether call invokes one of the named methods on a
+// module-internal type called Arena.
+func arenaMethod(info *types.Info, modPath string, call *ast.CallExpr, names ...string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Arena" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == modPath || strings.HasPrefix(path, modPath+"/")
+}
+
+// trackableArenaType reports whether a parameter of type t could carry an
+// arena-owned value worth summarizing: a pointer to a module-internal named
+// type (e.g. *nn.Tensor) or a slice (e.g. []float32).
+func trackableArenaType(t types.Type, modPath string) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		named, ok := u.Elem().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return false
+		}
+		p := named.Obj().Pkg().Path()
+		return p == modPath || strings.HasPrefix(p, modPath+"/")
+	case *types.Slice:
+		return true
+	case *types.Named:
+		return trackableArenaType(t.Underlying(), modPath)
+	}
+	return false
+}
+
+// identObj resolves e to the object of a plain identifier use, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// defOrUse resolves an identifier that may be a fresh definition (:=) or a
+// plain assignment target.
+func defOrUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// arenaSummarize computes the arena slice of fi's summary (ReleasesParam,
+// RetainsParam, ReturnsArena) by running the flow over its body with the
+// parameters tracked from entry. Returns whether the summary changed.
+func arenaSummarize(fi *FuncInfo, sums *Summaries, sum *FuncSummary) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	params := paramObjects(fi)
+	flow := newArenaFlow(fi.Pkg, sums, params)
+	cfg := BuildCFG(fi.Decl.Body)
+	facts := Forward(cfg, flow)
+
+	releases := make([]bool, len(params))
+	retains := make([]bool, len(params))
+	if exitFact := ExitFact(cfg, flow, facts); exitFact != nil {
+		exit := exitFact.(arenaFact)
+		for i, p := range params {
+			switch exit[p] {
+			case arReleased:
+				releases[i] = true
+			case arEscaped:
+				retains[i] = true
+			default:
+				// Live or untracked at exit: the caller keeps ownership.
+			}
+		}
+	}
+
+	returns := make([]bool, resultCount(fi.Obj))
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(returns) {
+			return true
+		}
+		for j, res := range ret.Results {
+			if call, ok := unparen(res).(*ast.CallExpr); ok {
+				if flow.isArenaGet(call) || flow.calleeReturnsArena(call, 0) {
+					returns[j] = true
+					continue
+				}
+			}
+			// A live tracked local returned directly also transfers a fresh
+			// arena value to the caller.
+			if obj := identObj(fi.Pkg.Info, res); obj != nil {
+				if _, isRoot := flow.roots[obj]; isRoot {
+					returns[j] = true
+				}
+			}
+		}
+		return true
+	})
+
+	changed := false
+	for i := range releases {
+		if sum.ReleasesParam[i] != releases[i] {
+			sum.ReleasesParam[i] = releases[i]
+			changed = true
+		}
+		if sum.RetainsParam[i] != retains[i] {
+			sum.RetainsParam[i] = retains[i]
+			changed = true
+		}
+	}
+	for j := range returns {
+		if sum.ReturnsArena[j] != returns[j] {
+			sum.ReturnsArena[j] = returns[j]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// runArenaLifetime reports leaks, double releases, and discarded Get
+// results in the scoped packages, one diagnostic per owned value.
+func runArenaLifetime(p *ModulePass) {
+	nodes := make([]*FuncInfo, 0, len(p.Mod.Graph.Nodes))
+	for _, fi := range p.Mod.Graph.Nodes {
+		if hasSegment(fi.Pkg.Path, arenaScope...) && fi.Decl.Body != nil {
+			nodes = append(nodes, fi)
+		}
+	}
+	sortNodesByPos(nodes)
+	for _, fi := range nodes {
+		units := []*ast.BlockStmt{fi.Decl.Body}
+		for _, lit := range fi.Lits {
+			units = append(units, lit.Body)
+		}
+		for _, body := range units {
+			arenaReportUnit(p, fi.Pkg, body)
+		}
+	}
+}
+
+// arenaReportUnit runs the flow over one function-like body and reports.
+func arenaReportUnit(p *ModulePass, pkg *Package, body *ast.BlockStmt) {
+	flow := newArenaFlow(pkg, p.Mod.Sums, nil)
+	cfg := BuildCFG(body)
+	facts := Forward(cfg, flow)
+
+	// Replay the converged solution once, collecting double releases and
+	// blank-identifier discards, plus Gets used as bare statements.
+	flow.record = true
+	WalkFacts(cfg, flow, facts, func(stmt ast.Stmt, before Fact) {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		if call, ok := unparen(es.X).(*ast.CallExpr); ok && flow.isArenaGet(call) {
+			flow.discarded = append(flow.discarded, call)
+		}
+	})
+	flow.record = false
+
+	for _, call := range flow.discarded {
+		p.Reportf(call.Pos(), "result of an Arena Get is discarded without being released")
+	}
+
+	if exitFact := ExitFact(cfg, flow, facts); exitFact != nil {
+		exit := exitFact.(arenaFact)
+		leaked := make([]types.Object, 0, len(flow.roots))
+		for obj := range flow.roots {
+			if exit[obj] == arLive {
+				leaked = append(leaked, obj)
+			}
+		}
+		sortObjectsByPos(leaked, flow)
+		for _, obj := range leaked {
+			p.Reportf(flow.roots[obj].Pos(),
+				"arena value %q is not released on every path to return; Put/PutBuf it on early returns too, or transfer ownership explicitly",
+				obj.Name())
+		}
+	}
+	for _, call := range flow.doubles {
+		p.Reportf(call.Pos(), "arena value is released more than once on some path")
+	}
+}
+
+func sortObjectsByPos(objs []types.Object, f *arenaFlow) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && f.roots[objs[j]].Pos() < f.roots[objs[j-1]].Pos(); j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+}
+
+// calleeName returns the method name of a selector call for messages.
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "call"
+}

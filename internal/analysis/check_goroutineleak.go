@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak verifies that goroutines launched in the concurrency-bearing
+// packages are provably joined before their owner returns: the goroutine
+// body must signal completion (WaitGroup.Done, a channel send or close, or
+// termination via context cancellation) and the launching function must
+// consume that signal (Wait, a receive or range over the channel, or a
+// callee the summaries prove waits) on some path after the launch. A
+// goroutine that signals through state the owner does not hold locally —
+// a struct field, a returned channel — is assumed to be joined elsewhere;
+// the check only reports leaks it can prove within the owner.
+var GoroutineLeak = &Check{
+	Name: "goroutine-leak",
+	Doc: "a goroutine is launched but never joined before the owner " +
+		"returns: either its body signals completion to nobody, or the " +
+		"owner never consumes the signal; join it (WaitGroup, channel " +
+		"receive, context) or annotate a deliberate daemon with " +
+		"//livenas:allow goroutine-leak",
+	RunModule: runGoroutineLeak,
+}
+
+// goroutineScope: the packages whose go statements are audited.
+var goroutineScope = []string{"nn", "core", "transport", "sr"}
+
+// goSignals describes how one goroutine body announces completion.
+type goSignals struct {
+	// wgs and chans are owner-local objects the body signals through:
+	// WaitGroups it calls Done on, channels it sends on or closes.
+	wgs   map[types.Object]bool
+	chans map[types.Object]bool
+	// external is set when the body signals through non-local state (a
+	// struct field, a global); the owner cannot be expected to join, so
+	// the launch is assumed to be managed elsewhere.
+	external bool
+	// ctxBound is set when the body observes context cancellation
+	// (<-ctx.Done() or a select on it), bounding its lifetime.
+	ctxBound bool
+}
+
+func (s *goSignals) any() bool {
+	return len(s.wgs) > 0 || len(s.chans) > 0 || s.external || s.ctxBound
+}
+
+func runGoroutineLeak(p *ModulePass) {
+	nodes := make([]*FuncInfo, 0, len(p.Mod.Graph.Nodes))
+	for _, fi := range p.Mod.Graph.Nodes {
+		if hasSegment(fi.Pkg.Path, goroutineScope...) && fi.Decl.Body != nil {
+			nodes = append(nodes, fi)
+		}
+	}
+	sortNodesByPos(nodes)
+	for _, fi := range nodes {
+		checkGoroutineUnit(p, fi, fi.Obj.Name(), fi.Decl.Body)
+		for _, lit := range fi.Lits {
+			checkGoroutineUnit(p, fi, fi.Obj.Name(), lit.Body)
+		}
+	}
+}
+
+// checkGoroutineUnit audits every go statement of one function-like body.
+// Each body (the declaration's and each literal's) is its own owner: a
+// goroutine launched inside a literal must be joined by that literal.
+func checkGoroutineUnit(p *ModulePass, fi *FuncInfo, owner string, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	var goStmts []*ast.GoStmt
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Stmts {
+			if g, ok := s.(*ast.GoStmt); ok {
+				goStmts = append(goStmts, g)
+			}
+		}
+	}
+	if len(goStmts) == 0 {
+		return
+	}
+	// Defers registered anywhere in the unit run at exit, after any launch
+	// that executed, so they are join evidence for every go statement.
+	var defers []ast.Stmt
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Stmts {
+			if d, ok := s.(*ast.DeferStmt); ok {
+				defers = append(defers, d)
+			}
+		}
+	}
+	for _, g := range goStmts {
+		sig := collectGoSignals(p, fi, g)
+		if sig.external || sig.ctxBound {
+			continue
+		}
+		if !sig.any() {
+			p.Reportf(g.Pos(),
+				"goroutine launched in %s never signals completion (no WaitGroup.Done, channel send/close, or context cancellation), so the owner cannot join it",
+				owner)
+			continue
+		}
+		if signalsEscape(p, fi, body, g, sig) {
+			continue
+		}
+		evidence := append(cfg.ReachableStmts(g), defers...)
+		if !joinEvidence(p, fi, evidence, sig) {
+			p.Reportf(g.Pos(),
+				"goroutine launched in %s signals completion but %s never consumes the signal before returning; wait on the WaitGroup or receive from the channel on the path to return",
+				owner, owner)
+		}
+	}
+}
+
+// collectGoSignals extracts the completion signals of the goroutine body:
+// the function literal's body, or — for `go fn(args)` with a statically
+// known module callee — the callee's body with its parameters mapped back
+// to the caller's argument objects.
+func collectGoSignals(p *ModulePass, fi *FuncInfo, g *ast.GoStmt) *goSignals {
+	sig := &goSignals{wgs: map[types.Object]bool{}, chans: map[types.Object]bool{}}
+	info := fi.Pkg.Info
+	var body *ast.BlockStmt
+	// paramOf maps a body-local object to the caller object it stands for.
+	paramOf := func(obj types.Object) types.Object { return obj }
+
+	switch fun := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		callee := StaticCallee(info, g.Call)
+		if callee == nil {
+			// go through an unknown function value: no visibility, assume
+			// the callee manages its own lifetime.
+			sig.external = true
+			return sig
+		}
+		cfi := p.Mod.Graph.Funcs[callee]
+		if cfi == nil || cfi.Decl.Body == nil {
+			sig.external = true
+			return sig
+		}
+		body = cfi.Decl.Body
+		info = cfi.Pkg.Info
+		// Map callee params to caller argument objects where the argument
+		// is a plain identifier; anything else is untrackable.
+		m := map[types.Object]types.Object{}
+		for i, par := range paramObjects(cfi) {
+			if i < len(g.Call.Args) {
+				arg := unparen(g.Call.Args[i])
+				// go helper(&wg): the WaitGroup travels by address.
+				if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					arg = unparen(ue.X)
+				}
+				if argObj := identObj(fi.Pkg.Info, arg); argObj != nil {
+					m[par] = argObj
+				}
+			}
+		}
+		paramOf = func(obj types.Object) types.Object {
+			if caller, ok := m[obj]; ok {
+				return caller
+			}
+			return nil // callee-local signal: invisible to the caller
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(e.Args) == 0 {
+				if isWaitGroupExpr(info, sel.X) {
+					recordSignal(sig, sig.wgs, info, sel.X, paramOf)
+				}
+			}
+			if id, ok := unparen(e.Fun).(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				if isChanExpr(info, e.Args[0]) {
+					recordSignal(sig, sig.chans, info, e.Args[0], paramOf)
+				}
+			}
+		case *ast.SendStmt:
+			recordSignal(sig, sig.chans, info, e.Chan, paramOf)
+		case *ast.UnaryExpr:
+			// <-ctx.Done(): the goroutine's lifetime is bounded by context
+			// cancellation; select cases reach here through their Comm exprs.
+			if e.Op == token.ARROW {
+				if call, ok := unparen(e.X).(*ast.CallExpr); ok {
+					if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && !isWaitGroupExpr(info, sel.X) {
+						sig.ctxBound = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sig
+}
+
+// recordSignal files the signal target: an owner-visible local object goes
+// in the set; a field, global, or callee-local target marks the signal
+// external (managed outside the owner).
+func recordSignal(sig *goSignals, set map[types.Object]bool, info *types.Info, e ast.Expr, paramOf func(types.Object) types.Object) {
+	obj := identObj(info, unparen(e))
+	if obj == nil {
+		sig.external = true
+		return
+	}
+	if mapped := paramOf(obj); mapped != nil {
+		if isLocalVar(mapped) {
+			set[mapped] = true
+			return
+		}
+	}
+	sig.external = true
+}
+
+// isLocalVar reports whether obj is a function-local variable or parameter
+// (as opposed to a package-level variable or a field).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}
+
+// signalsEscape reports whether any signal object leaves the owner through
+// a return statement or a call to an unknown callee anywhere in the unit —
+// in which case the join may legitimately happen outside this function.
+func signalsEscape(p *ModulePass, fi *FuncInfo, body *ast.BlockStmt, g *ast.GoStmt, sig *goSignals) bool {
+	tracked := func(e ast.Expr) bool {
+		obj := identObj(fi.Pkg.Info, e)
+		if obj == nil {
+			// &wg escapes through the address-of below.
+			if ue, ok := unparen(e).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				obj = identObj(fi.Pkg.Info, ue.X)
+			}
+		}
+		return obj != nil && (sig.wgs[obj] || sig.chans[obj])
+	}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			if e == g {
+				return false // the launch itself is not an escape
+			}
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				if tracked(res) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			if StaticCallee(fi.Pkg.Info, e) != nil {
+				return true // known callee: handled by summaries at the join scan
+			}
+			if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				// Methods on the signal objects themselves (wg.Add, ch ops)
+				// are not escapes.
+				if tracked(sel.X) || name == "Done" || name == "Wait" || name == "Add" {
+					return true
+				}
+			}
+			for _, arg := range e.Args {
+				if tracked(arg) {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// joinEvidence reports whether the statements contain proof the owner
+// consumes one of the goroutine's completion signals: wg.Wait (directly or
+// via a callee summarized as waiting), a receive from or range over a
+// signalled channel.
+func joinEvidence(p *ModulePass, fi *FuncInfo, stmts []ast.Stmt, sig *goSignals) bool {
+	info := fi.Pkg.Info
+	found := false
+	for _, s := range stmts {
+		if found {
+			break
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(e.Args) == 0 {
+					if obj := identObj(info, sel.X); obj != nil && sig.wgs[obj] {
+						found = true
+						return false
+					}
+				}
+				// A callee the summaries prove waits on the WaitGroup.
+				if callee := StaticCallee(info, e); callee != nil {
+					if sum := p.Mod.Sums.Of(callee); sum != nil {
+						for i, arg := range e.Args {
+							if i >= len(sum.WaitsOnParam) || !sum.WaitsOnParam[i] {
+								continue
+							}
+							obj := identObj(info, arg)
+							if obj == nil {
+								if ue, ok := unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+									obj = identObj(info, ue.X)
+								}
+							}
+							if obj != nil && sig.wgs[obj] {
+								found = true
+								return false
+							}
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW {
+					if obj := identObj(info, e.X); obj != nil && sig.chans[obj] {
+						found = true
+						return false
+					}
+				}
+			case *ast.RangeStmt:
+				if obj := identObj(info, e.X); obj != nil && sig.chans[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// waitSummarize records which *sync.WaitGroup parameters fi waits on,
+// directly or through a callee already summarized as waiting. Monotone:
+// bits only flip false→true.
+func waitSummarize(fi *FuncInfo, s *Summaries, sum *FuncSummary) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	info := fi.Pkg.Info
+	changed := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A Wait inside a literal is not guaranteed to run on the
+			// function's own control path.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && len(call.Args) == 0 {
+			if isWaitGroupExpr(info, sel.X) {
+				if obj := identObj(info, sel.X); obj != nil {
+					if setTrue(sum.WaitsOnParam, paramIndexOf(fi, obj)) {
+						changed = true
+					}
+				}
+			}
+			return true
+		}
+		// Transitive: passing a WaitGroup parameter to a callee that waits.
+		if callee := StaticCallee(info, call); callee != nil {
+			if csum := s.Of(callee); csum != nil {
+				for i, arg := range call.Args {
+					if i >= len(csum.WaitsOnParam) || !csum.WaitsOnParam[i] {
+						continue
+					}
+					obj := identObj(info, arg)
+					if obj == nil {
+						if ue, ok := unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+							obj = identObj(info, ue.X)
+						}
+					}
+					if obj != nil && setTrue(sum.WaitsOnParam, paramIndexOf(fi, obj)) {
+						changed = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// isWaitGroupExpr reports whether e's type is sync.WaitGroup (or a pointer
+// to it).
+func isWaitGroupExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// isChanExpr reports whether e's type is a channel.
+func isChanExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,15 @@
+// Package nn is a miniature of the real internal/nn arena contract: Get
+// and GetBuf hand out owned values, Put and PutBuf take them back.
+package nn
+
+// Tensor stands in for the real activation tensor.
+type Tensor struct{ Data []float32 }
+
+// Arena matches the structural shape the check keys on: a module-internal
+// named type called Arena with Get/GetBuf/Put/PutBuf methods.
+type Arena struct{}
+
+func (a *Arena) Get(c, h, w int) *Tensor { return &Tensor{Data: make([]float32, c*h*w)} }
+func (a *Arena) GetBuf(n int) []float32  { return make([]float32, n) }
+func (a *Arena) Put(t *Tensor)           {}
+func (a *Arena) PutBuf(b []float32)      {}

@@ -1,0 +1,116 @@
+package nn
+
+// sink gives retained values somewhere observable to escape to.
+var sink *Tensor
+
+// LeakOnEarlyReturn forgets the tensor on the early-return path.
+func LeakOnEarlyReturn(a *Arena, cond bool) {
+	t := a.Get(1, 2, 3) // want arena-lifetime
+	if cond {
+		return
+	}
+	a.Put(t)
+}
+
+// Balanced releases on the only path.
+func Balanced(a *Arena) {
+	t := a.Get(1, 2, 3)
+	a.Put(t)
+}
+
+// DeferredRelease covers every exit, including the early return.
+func DeferredRelease(a *Arena, cond bool) {
+	t := a.Get(1, 2, 3)
+	defer a.Put(t)
+	if cond {
+		return
+	}
+	t.Data[0] = 1
+}
+
+// DoubleRelease returns the same value twice.
+func DoubleRelease(a *Arena) {
+	t := a.Get(1, 2, 3)
+	a.Put(t)
+	a.Put(t) // want arena-lifetime
+}
+
+// Alloc transfers ownership to the caller: not a leak here.
+func Alloc(a *Arena) *Tensor {
+	t := a.Get(1, 2, 3)
+	return t
+}
+
+// AllocUser gets a fresh arena value from a helper (via the ReturnsArena
+// summary) and leaks it.
+func AllocUser(a *Arena) {
+	t := Alloc(a) // want arena-lifetime
+	t.Data[0] = 1
+}
+
+// release is a helper whose summary proves it releases its argument.
+func release(a *Arena, t *Tensor) { a.Put(t) }
+
+// HelperRelease is balanced through the interprocedural summary.
+func HelperRelease(a *Arena) {
+	t := a.Get(1, 2, 3)
+	release(a, t)
+}
+
+// borrow neither releases nor retains: callers keep ownership.
+func borrow(t *Tensor) int { return len(t.Data) }
+
+// LeakPastBorrow passes to a borrowing helper and never releases.
+func LeakPastBorrow(a *Arena) {
+	t := a.Get(1, 2, 3) // want arena-lifetime
+	_ = borrow(t)
+}
+
+// stash retains its argument, so callers have transferred ownership.
+func stash(t *Tensor) { sink = t }
+
+// TransferToStash hands the value off: not a leak here.
+func TransferToStash(a *Arena) {
+	t := a.Get(1, 2, 3)
+	stash(t)
+}
+
+// Discard drops the Get result on the floor.
+func Discard(a *Arena) {
+	a.Get(1, 2, 3) // want arena-lifetime
+}
+
+// LeakBuf covers the GetBuf/PutBuf pair.
+func LeakBuf(a *Arena, cond bool) {
+	b := a.GetBuf(16) // want arena-lifetime
+	if cond {
+		return
+	}
+	a.PutBuf(b)
+}
+
+// LoopRecycle mirrors the real backward pass: the loop variable is rebound
+// each trip and released exactly once per binding.
+func LoopRecycle(a *Arena, live []*Tensor) {
+	for _, t := range live {
+		a.Put(t)
+	}
+}
+
+// AllowedLeak is suppressed by a line-level directive.
+func AllowedLeak(a *Arena) {
+	t := a.Get(1, 2, 3) //livenas:allow arena-lifetime handed to a C library that frees it
+	_ = borrow(t)
+}
+
+//livenas:allow arena-lifetime ownership audited by hand for the whole body
+func AllowedFuncLeak(a *Arena) {
+	t := a.Get(1, 2, 3)
+	_ = borrow(t)
+}
+
+// BogusAllow names a check that does not exist; the finding must survive.
+func BogusAllow(a *Arena) {
+	t := a.Get(1, 2, 3) //livenas:allow arena-lifetimes // want arena-lifetime
+	_ = borrow(t)
+}

@@ -1,0 +1,10 @@
+// Package other leaks an arena value but sits outside the nn/sr scope, so
+// the check must stay silent here.
+package other
+
+import "fix/nn"
+
+func LeakOutOfScope(a *nn.Arena) {
+	t := a.Get(1, 2, 3)
+	_ = t
+}

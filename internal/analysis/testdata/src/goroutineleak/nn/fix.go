@@ -1,0 +1,138 @@
+// Package nn seeds goroutine-leak cases inside the check's scope.
+package nn
+
+import "sync"
+
+func work() {}
+
+// ctx mimics context.Context's cancellation surface without importing it.
+type ctx struct{ c chan struct{} }
+
+func (c *ctx) Done() <-chan struct{} { return c.c }
+
+// NoSignal launches a goroutine that can never be joined.
+func NoSignal() {
+	go func() { // want goroutine-leak
+		work()
+	}()
+}
+
+// WgJoined is the canonical fork-join shape.
+func WgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// SignalNotConsumed signals completion, but the owner never listens.
+func SignalNotConsumed() {
+	done := make(chan struct{})
+	go func() { // want goroutine-leak
+		work()
+		close(done)
+	}()
+	_ = done
+}
+
+// ChanJoined receives exactly as many completions as it launched.
+func ChanJoined(n int) {
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			done <- i
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// CtxBound goroutines end on cancellation; lifetime is managed by the ctx.
+func CtxBound(c *ctx) {
+	go func() {
+		<-c.Done()
+		work()
+	}()
+}
+
+// Server signals through a field: joining is some other method's job.
+type Server struct{ done chan struct{} }
+
+func (s *Server) Start() {
+	go func() {
+		work()
+		close(s.done)
+	}()
+}
+
+// StartWorker hands the join channel to the caller.
+func StartWorker() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// helper signals through the WaitGroup it is handed.
+func helper(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// NamedJoined joins a goroutine running a named function.
+func NamedJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper(&wg)
+	wg.Wait()
+}
+
+// NamedNotJoined launches the same function and forgets it.
+func NamedNotJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go helper(&wg) // want goroutine-leak
+}
+
+// waitAll is join evidence via the WaitsOnParam summary.
+func waitAll(wg *sync.WaitGroup) { wg.Wait() }
+
+// JoinViaHelper joins through a callee instead of a direct Wait.
+func JoinViaHelper() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	waitAll(&wg)
+}
+
+//livenas:allow goroutine-leak background daemon by design, stops with the process
+func AllowedDaemon() {
+	go func() {
+		work()
+	}()
+}
+
+// AllowedDaemonLine is suppressed by a directive on the line above.
+func AllowedDaemonLine() {
+	//livenas:allow goroutine-leak metrics flusher runs for the process lifetime
+	go func() {
+		work()
+	}()
+}
+
+// BogusAllow misspells the check name; the finding must survive.
+func BogusAllow() {
+	//livenas:allow gorotine-leak typo must not suppress anything
+	go func() { // want goroutine-leak
+		work()
+	}()
+}

@@ -1,0 +1,11 @@
+// Package other launches an unjoined goroutine outside the audited
+// packages (nn, core, transport, sr); the check must stay silent.
+package other
+
+func work() {}
+
+func UnjoinedOutOfScope() {
+	go func() {
+		work()
+	}()
+}

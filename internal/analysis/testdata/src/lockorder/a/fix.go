@@ -1,0 +1,171 @@
+// Package a seeds lock-order cycles: an AB/BA inversion, a same-class
+// self-cycle, an interprocedural inversion through a helper's Locks
+// summary, a goroutine-nested inversion, and consistent orders that must
+// stay silent.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ABBA1 and ABBA2 acquire A.mu and B.mu in opposite orders.
+func ABBA1(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want lock-order
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ABBA2(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want lock-order
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Copy locks two instances of the same class: deadlocks against a
+// concurrent Copy in the opposite direction.
+func Copy(dst, src *A) {
+	dst.mu.Lock()
+	src.mu.Lock() // want lock-order
+	src.mu.Unlock()
+	dst.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// CD1 and CD2 always take C.mu before D.mu: consistent, no findings.
+func CD1(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func CD2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// lockF's acquisition surfaces in its summary; the cycle edge lands on the
+// call site in EthenF.
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func EthenF(e *E, f *F) {
+	e.mu.Lock()
+	lockF(f) // want lock-order
+	e.mu.Unlock()
+}
+
+func FthenE(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock() // want lock-order
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+// Spawn's goroutine acquires H.mu while the launcher holds G.mu; with
+// Reverse the orders invert.
+func Spawn(g *G, h *H) {
+	g.mu.Lock()
+	go func() {
+		h.mu.Lock() // want lock-order
+		h.mu.Unlock()
+	}()
+	g.mu.Unlock()
+}
+
+func Reverse(g *G, h *H) {
+	h.mu.Lock()
+	g.mu.Lock() // want lock-order
+	g.mu.Unlock()
+	h.mu.Unlock()
+}
+
+type I struct{ mu sync.Mutex }
+type J struct{ mu sync.Mutex }
+
+// IJ's half of the cycle is allowed in place; JI's half is still reported.
+func IJ(i *I, j *J) {
+	i.mu.Lock()
+	//livenas:allow lock-order boot path, J instances are process singletons here
+	j.mu.Lock()
+	j.mu.Unlock()
+	i.mu.Unlock()
+}
+
+func JI(i *I, j *J) {
+	j.mu.Lock()
+	i.mu.Lock() // want lock-order
+	i.mu.Unlock()
+	j.mu.Unlock()
+}
+
+type K struct{ mu sync.Mutex }
+type L struct{ mu sync.Mutex }
+
+//livenas:allow lock-order shutdown path runs single-threaded
+func KL(k *K, l *L) {
+	k.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	k.mu.Unlock()
+}
+
+func LK(k *K, l *L) {
+	l.mu.Lock()
+	k.mu.Lock() // want lock-order
+	k.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// A package-level mutex forms its own class.
+var regMu sync.Mutex
+
+type M struct{ mu sync.Mutex }
+
+func RegThenM(m *M) {
+	regMu.Lock()
+	m.mu.Lock() // want lock-order
+	m.mu.Unlock()
+	regMu.Unlock()
+}
+
+func MThenReg(m *M) {
+	m.mu.Lock()
+	regMu.Lock() // want lock-order
+	regMu.Unlock()
+	m.mu.Unlock()
+}
+
+// BogusAllow misspells the check name; the finding must survive.
+type N struct{ mu sync.Mutex }
+type O struct{ mu sync.Mutex }
+
+func NO(n *N, o *O) {
+	n.mu.Lock()
+	//livenas:allow lock-ordering typo must not suppress anything
+	o.mu.Lock() // want lock-order
+	o.mu.Unlock()
+	n.mu.Unlock()
+}
+
+func ON(n *N, o *O) {
+	o.mu.Lock()
+	n.mu.Lock() // want lock-order
+	n.mu.Unlock()
+	o.mu.Unlock()
+}

@@ -16,8 +16,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== livenas-vet ./..."
-go run ./cmd/livenas-vet ./...
+echo "== livenas-vet ./... (gated on analysis/baseline.json)"
+go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
 
 echo "== go test ./..."
 go test ./...
@@ -29,7 +29,7 @@ echo "== kernel bench smoke + regression gate (cmd/bench-compare)"
 go run ./cmd/bench-compare
 
 echo "== go test -race (concurrency tier)"
-go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core
+go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz ($FUZZTIME per target)"

@@ -2,7 +2,8 @@
 # Tiered CI driver (.github/workflows/ci.yml runs both tiers; either runs
 # standalone on a laptop).
 #
-#   scripts/ci.sh fast    blocking tier: build, gofmt, go vet, livenas-vet,
+#   scripts/ci.sh fast    blocking tier: build, gofmt, go vet, livenas-vet
+#                         (baseline-gated via analysis/baseline.json),
 #                         short tests
 #   scripts/ci.sh full    merge tier: full tests, race tier, fuzz smoke
 #                         (FUZZTIME, default 10s, 0 skips), kernel-bench
@@ -81,13 +82,13 @@ if [[ "$TIER" == "fast" ]]; then
     step "go build" go build ./...
     step "gofmt" gofmt_clean
     step "go vet" go vet ./...
-    step "livenas-vet" go run ./cmd/livenas-vet ./...
+    step "livenas-vet" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test -short" go test -short ./...
 else
     FUZZTIME="${FUZZTIME:-10s}"
     step "go build" go build ./...
     step "go test" go test ./...
-    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis
     if [[ "$FUZZTIME" != "0" ]]; then
         step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
         step "fuzz codec ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate analysis/baseline.json from the current livenas-vet findings.
+#
+# Justifications for entries that persist are carried over; any NEW entry
+# is written with an empty justification, and the baseline refuses to load
+# until a human fills it in. That is deliberate: accepting a finding is an
+# explicit, reviewed decision, never a side effect of regeneration. Prefer
+# fixing the finding or, for single sites, a `//livenas:allow <check> <why>`
+# directive; baseline entries are for findings the analyzer cannot model
+# precisely enough (see DESIGN.md "Correctness tooling").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/livenas-vet -write-baseline analysis/baseline.json ./...
+
+# Fail loudly here (not just at next load) if an entry still needs text.
+if grep -q '"justification": ""' analysis/baseline.json; then
+    echo >&2
+    echo "vet-baseline.sh: analysis/baseline.json has entries with empty" >&2
+    echo "justifications; edit the file and explain each acceptance." >&2
+    exit 1
+fi
+echo "vet-baseline.sh: analysis/baseline.json regenerated"
