@@ -114,3 +114,10 @@ func BogusAllow(a *Arena) {
 	t := a.Get(1, 2, 3) //livenas:allow arena-lifetimes // want arena-lifetime
 	_ = borrow(t)
 }
+
+// TempDoubleViaHelper releases via Put then via a releasing helper.
+func TempDoubleViaHelper(a *Arena) {
+	t := a.Get(1, 2, 3)
+	a.Put(t)
+	release(a, t)
+}
