@@ -7,6 +7,7 @@ package livenas
 // tables and `-full` for the large-frame configuration.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -31,7 +32,7 @@ func runExp(b *testing.B, id string) {
 	o := benchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(o)
+		tables := e.Run(context.Background(), o, nil)
 		if len(tables) == 0 || len(tables[0].Rows) == 0 {
 			b.Fatalf("experiment %s produced no rows", id)
 		}

@@ -18,6 +18,8 @@
 //	bench-compare -current out.json       # compare an existing result file instead
 //	bench-compare -threshold 0.25         # custom noise allowance (or env BENCH_NOISE)
 //	bench-compare -summary run.json       # instead: validate a telemetry run-summary file
+//	bench-compare -sweep                  # instead: gate the sweep-engine parallel speedup
+//	                                      # (livenas-bench -sweepbench) vs BENCH_sweep.json
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 
 	"livenas/internal/telemetry"
@@ -64,12 +67,23 @@ func main() {
 		threshold = flag.Float64("threshold", defaultThreshold(), "allowed fractional speedup drop before failing (env BENCH_NOISE overrides the default)")
 		retries   = flag.Int("retries", 2, "extra bench runs on failure; best speedup per bench wins")
 		summary   = flag.String("summary", "", "validate a telemetry run-summary JSON file instead of comparing benches")
+		sweep     = flag.Bool("sweep", false, "gate the sweep-engine parallel speedup instead of the kernel benches")
+		sweepBase = flag.String("sweep-baseline", "BENCH_sweep.json", "committed sweep-speedup baseline JSON")
+		sweepCur  = flag.String("sweep-current", "", "pre-recorded sweepbench JSON to compare (default: run cmd/livenas-bench -sweepbench)")
 	)
 	flag.Parse()
 
 	if *summary != "" {
 		if err := validateSummary(*summary); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-compare: summary %s: %v\n", *summary, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sweep {
+		if err := sweepGate(*sweepBase, *sweepCur, *threshold, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -192,6 +206,93 @@ func report(base, cur *benchFile, threshold float64, failed []string) {
 	} else {
 		fmt.Printf("bench-compare: all speedups within %.0f%% of baseline\n", threshold*100)
 	}
+}
+
+// sweepRecord mirrors cmd/livenas-bench's -sweepbench JSON (BENCH_sweep.json).
+type sweepRecord struct {
+	Schema   int     `json:"schema"`
+	Sessions int     `json:"sessions"`
+	Workers  int     `json:"workers"`
+	SerialS  float64 `json:"serial_s"`
+	ParallS  float64 `json:"parallel_s"`
+	Speedup  float64 `json:"speedup"`
+}
+
+func readSweepRecord(path string) (*sweepRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r sweepRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Sessions <= 0 || r.SerialS <= 0 || r.ParallS <= 0 || r.Speedup <= 0 {
+		return nil, fmt.Errorf("%s: non-positive sweep figures: %+v", path, r)
+	}
+	return &r, nil
+}
+
+// currentSweep loads path, or records a fresh sweepbench run when empty.
+func currentSweep(path string) (*sweepRecord, error) {
+	if path != "" {
+		return readSweepRecord(path)
+	}
+	tmp, err := os.CreateTemp("", "sweep_current_*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	cmd := exec.Command("go", "run", "./cmd/livenas-bench", "-sweepbench", tmp.Name())
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("livenas-bench -sweepbench: %w", err)
+	}
+	return readSweepRecord(tmp.Name())
+}
+
+// sweepGate compares the serial-vs-parallel speedup of the fixed sweep
+// against the committed baseline. Like the kernel gate it compares a ratio
+// measured within one process run, so host speed cancels; unlike it, the
+// achievable ratio is bounded by the host's core count, so the baseline's
+// speedup is first capped at the cores available here.
+func sweepGate(basePath, curPath string, threshold float64, retries int) error {
+	base, err := readSweepRecord(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cores := runtime.NumCPU()
+	if cores < 2 {
+		fmt.Println("sweep gate: single-core host, parallel speedup unmeasurable; skipping")
+		return nil
+	}
+	want := base.Speedup
+	if lim := float64(cores); want > lim {
+		want = lim
+	}
+	want *= 1 - threshold
+	cur, err := currentSweep(curPath)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; cur.Speedup < want && attempt < retries && curPath == ""; attempt++ {
+		fmt.Printf("sweep gate: speedup x%.2f below x%.2f, retrying (wall-clock runs are noisy)\n",
+			cur.Speedup, want)
+		again, err := currentSweep("")
+		if err != nil {
+			return fmt.Errorf("retry: %w", err)
+		}
+		if again.Speedup > cur.Speedup {
+			cur = again
+		}
+	}
+	fmt.Printf("sweep gate: %d sessions, %d workers: serial %.2fs / parallel %.2fs = x%.2f (baseline x%.2f, floor x%.2f)\n",
+		cur.Sessions, cur.Workers, cur.SerialS, cur.ParallS, cur.Speedup, base.Speedup, want)
+	if cur.Speedup < want {
+		return fmt.Errorf("parallel sweep speedup x%.2f below floor x%.2f", cur.Speedup, want)
+	}
+	return nil
 }
 
 // validateSummary checks a run-summary file the way the CI full tier does:

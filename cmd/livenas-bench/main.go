@@ -7,29 +7,42 @@
 //	livenas-bench -all
 //	livenas-bench -all -full          # full-scale (slow) mode
 //	livenas-bench -fig fig20 -seed 3  # sensitivity re-run
+//	livenas-bench -all -parallel 8 -cache-dir .livenas-cache
+//
+// Each experiment's sessions run on a sweep engine: -parallel bounds how
+// many execute concurrently (0 = GOMAXPROCS) and -cache-dir persists
+// session results so re-runs skip already-computed sessions. Results are
+// byte-identical for any -parallel value and for warm or cold caches.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"livenas/internal/exp"
+	"livenas/internal/sweep"
 	"livenas/internal/telemetry"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		fig     = flag.String("fig", "", "run one experiment by id")
-		all     = flag.Bool("all", false, "run every experiment")
-		full    = flag.Bool("full", false, "full-scale mode (slower, larger frames)")
-		seed    = flag.Int64("seed", 0, "seed offset for sensitivity runs")
-		traces  = flag.Int("traces", 0, "traces per data point (0 = default)")
-		dur     = flag.Duration("dur", 0, "per-session stream duration (0 = default)")
-		timings = flag.Bool("time", true, "print per-experiment wall time")
-		summary = flag.String("summary", "", "run one representative LiveNAS session and write its telemetry summary JSON to this file")
+		list       = flag.Bool("list", false, "list available experiments")
+		fig        = flag.String("fig", "", "run one experiment by id")
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "full-scale mode (slower, larger frames)")
+		seed       = flag.Int64("seed", 0, "seed offset for sensitivity runs")
+		traces     = flag.Int("traces", 0, "traces per data point (0 = default)")
+		dur        = flag.Duration("dur", 0, "per-session stream duration (0 = default)")
+		timings    = flag.Bool("time", true, "print per-experiment wall time and sweep stats")
+		parallel   = flag.Int("parallel", 0, "concurrent sessions per sweep (0 = GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "session-result cache directory (empty = no cache)")
+		summary    = flag.String("summary", "", "run one representative LiveNAS session and write its telemetry summary JSON to this file")
+		sweepBench = flag.String("sweepbench", "", "time a fixed sweep serially and in parallel, write the JSON record to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +51,18 @@ func main() {
 	o.Seed = *seed
 	o.Traces = *traces
 	o.Duration = *dur
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = sweep.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case *summary != "":
@@ -48,6 +73,11 @@ func main() {
 		}
 		fmt.Printf("telemetry summary written to %s (scheme %s, duty cycle %.2f, infer p50 %.2f ms)\n",
 			*summary, s.Scheme, s.TrainerDutyCycle, s.InferP50MS)
+	case *sweepBench != "":
+		if err := runSweepBench(ctx, *sweepBench, o, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *list:
 		for _, e := range exp.Registry {
 			fmt.Printf("%-12s %s\n", e.ID, e.Desc)
@@ -58,10 +88,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		runOne(e, o, *timings)
+		runOne(ctx, e, o, *parallel, cache, *timings)
 	case *all:
 		for _, e := range exp.Registry {
-			runOne(e, o, *timings)
+			runOne(ctx, e, o, *parallel, cache, *timings)
 		}
 	default:
 		flag.Usage()
@@ -69,15 +99,89 @@ func main() {
 	}
 }
 
-// runOne runs one experiment, optionally reporting how long it took.
+// runOne runs one experiment on a fresh sweep runner (so per-sweep stats
+// are per-experiment; the cache is shared across experiments).
 //
 //livenas:allow determinism wall-clock timing report only; never feeds results
-func runOne(e exp.Experiment, o exp.Options, timings bool) {
+func runOne(ctx context.Context, e exp.Experiment, o exp.Options, workers int, cache *sweep.Cache, timings bool) {
 	start := time.Now()
-	for _, t := range e.Run(o) {
+	r := sweep.New(ctx, sweep.Options{Workers: workers, Cache: cache})
+	defer func() {
+		// A cancelled sweep surfaces as a panic from the figure generator
+		// (the table contract has no error channel); exit 130 like any
+		// interrupted CLI instead of dumping the panic.
+		if p := recover(); p != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "[%s interrupted: %v]\n", e.ID, ctx.Err())
+				os.Exit(130)
+			}
+			panic(p)
+		}
+	}()
+	for _, t := range e.Run(ctx, o, r) {
 		fmt.Println(t)
 	}
 	if timings {
-		fmt.Printf("[%s finished in %v]\n\n", e.ID, time.Since(start).Truncate(time.Millisecond))
+		s := r.Stats()
+		fmt.Printf("[%s finished in %v: %d sessions (%d executed, %d cached, %d shared), %v simulated GPU, %d workers]\n\n",
+			e.ID, time.Since(start).Truncate(time.Millisecond),
+			s.Submitted, s.Executed, s.Cached, s.Submitted-s.Started,
+			s.SimGPU.Truncate(time.Millisecond), s.Workers)
 	}
+}
+
+// sweepBenchRecord is the JSON layout of BENCH_sweep.json: the serial and
+// parallel wall clock of the same fixed sweep. cmd/bench-compare gates on
+// the speedup ratio, which cancels host speed.
+type sweepBenchRecord struct {
+	Schema   int     `json:"schema"`
+	Sessions int     `json:"sessions"`
+	Workers  int     `json:"workers"`
+	SerialS  float64 `json:"serial_s"`
+	ParallS  float64 `json:"parallel_s"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// runSweepBench times exp.SweepBenchGrid with one worker and with the full
+// worker set, then writes the record to path.
+//
+//livenas:allow determinism wall-clock benchmark record; never feeds results
+func runSweepBench(ctx context.Context, path string, o exp.Options, workers int) error {
+	grid := exp.SweepBenchGrid(o)
+	run := func(w int) (time.Duration, sweep.Stats, error) {
+		start := time.Now()
+		r := sweep.New(ctx, sweep.Options{Workers: w})
+		r.GoGrid(grid)
+		_, err := r.Collect()
+		return time.Since(start), r.Stats(), err
+	}
+	// Serial first: it also warms process-wide lazy state (shared kernel
+	// pool, generic-model cache), so the parallel leg measures concurrency
+	// rather than first-touch costs.
+	serial, _, err := run(1)
+	if err != nil {
+		return err
+	}
+	parallel, stats, err := run(workers)
+	if err != nil {
+		return err
+	}
+	rec := sweepBenchRecord{
+		Schema:   1,
+		Sessions: stats.Executed,
+		Workers:  stats.Workers,
+		SerialS:  serial.Seconds(),
+		ParallS:  parallel.Seconds(),
+		Speedup:  serial.Seconds() / parallel.Seconds(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep bench: %d sessions, serial %.2fs, parallel(%d) %.2fs, speedup x%.2f -> %s\n",
+		rec.Sessions, rec.SerialS, rec.Workers, rec.ParallS, rec.Speedup, path)
+	return nil
 }

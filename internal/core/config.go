@@ -150,7 +150,7 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
-// withDefaults fills zero fields and validates geometry.
+// withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.FPS <= 0 {
 		c.FPS = 30
@@ -224,20 +224,57 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Scale returns the integer super-resolution factor and panics if the
-// native/ingest pair is not an integer ratio or the patch size does not
-// align with it.
-func (c Config) Scale() int {
-	if c.Ingest.W == 0 || c.Native.W%c.Ingest.W != 0 || c.Native.H%c.Ingest.H != 0 {
-		panic(fmt.Sprintf("core: native %dx%d not an integer multiple of ingest %dx%d",
-			c.Native.W, c.Native.H, c.Ingest.W, c.Ingest.H))
+// Defaulted returns the config with every zero field replaced by its
+// default. Telemetry is left exactly as supplied (Run installs a fresh
+// registry for a nil one at run time; a registry is live state, not part of
+// the session's identity). Run and RunContext behave identically for c and
+// c.Defaulted(), which is what makes Defaulted the canonical form the sweep
+// session cache hashes.
+func (c Config) Defaulted() Config {
+	tel := c.Telemetry
+	c = c.withDefaults()
+	c.Telemetry = tel
+	return c
+}
+
+// Validate checks the session geometry after defaulting: the native/ingest
+// pair must be an integer, isotropic super-resolution ratio and the patch
+// size must align with it. RunContext validates up front and returns the
+// error; Run panics on it (the legacy contract).
+func (c Config) Validate() error {
+	_, err := c.withDefaults().scale()
+	return err
+}
+
+// scale computes the integer super-resolution factor, reporting bad
+// geometry as an error.
+func (c Config) scale() (int, error) {
+	if c.Ingest.W <= 0 || c.Ingest.H <= 0 {
+		return 0, fmt.Errorf("core: ingest resolution %dx%d not positive", c.Ingest.W, c.Ingest.H)
+	}
+	if c.Native.W%c.Ingest.W != 0 || c.Native.H%c.Ingest.H != 0 {
+		return 0, fmt.Errorf("core: native %dx%d not an integer multiple of ingest %dx%d",
+			c.Native.W, c.Native.H, c.Ingest.W, c.Ingest.H)
 	}
 	s := c.Native.W / c.Ingest.W
 	if c.Native.H/c.Ingest.H != s {
-		panic("core: anisotropic scale factors unsupported")
+		return 0, fmt.Errorf("core: anisotropic scale factors unsupported (x%d horizontal, x%d vertical)",
+			s, c.Native.H/c.Ingest.H)
 	}
-	if c.PatchSize%s != 0 {
-		panic(fmt.Sprintf("core: patch size %d not divisible by scale %d", c.PatchSize, s))
+	if c.PatchSize > 0 && c.PatchSize%s != 0 {
+		return 0, fmt.Errorf("core: patch size %d not divisible by scale %d", c.PatchSize, s)
+	}
+	return s, nil
+}
+
+// Scale returns the integer super-resolution factor. It is a
+// post-validation accessor: call Validate (or go through RunContext, which
+// does) before trusting it on untrusted configs. On invalid geometry it
+// panics, since by then the config was asserted valid.
+func (c Config) Scale() int {
+	s, err := c.scale()
+	if err != nil {
+		panic(err)
 	}
 	return s
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"testing"
@@ -258,7 +260,32 @@ func TestGradSeriesRecorded(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	good := defaultTestConfig(vidgen.JustChatting)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default test config must validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Ingest = trace.Resolution{Name: "odd", W: 100, H: 100} },
+		func(c *Config) { c.Ingest = trace.Resolution{Name: "neg", W: 192, H: -108} },
+		func(c *Config) { c.Ingest = trace.Resolution{Name: "aniso", W: 192, H: 72} },
+		func(c *Config) { c.PatchSize = 25 }, // not divisible by the x2 scale
+	}
+	for i, mutate := range bad {
+		cfg := defaultTestConfig(vidgen.JustChatting)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Fatalf("bad config %d validated", i)
+		}
+		if _, err := RunContext(context.Background(), cfg); err == nil {
+			t.Fatalf("RunContext accepted bad config %d", i)
+		}
+	}
+}
+
 func TestScalePanicsOnBadGeometry(t *testing.T) {
+	// Scale stays the post-validation accessor: on geometry Validate would
+	// reject, it panics rather than returning a bogus factor.
 	cfg := defaultTestConfig(vidgen.JustChatting)
 	cfg.Ingest = trace.Resolution{Name: "odd", W: 100, H: 100}
 	defer func() {
@@ -267,6 +294,28 @@ func TestScalePanicsOnBadGeometry(t *testing.T) {
 		}
 	}()
 	cfg.Scale()
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cfg := defaultTestConfig(vidgen.JustChatting)
+	cfg.Trace = sharedTraceOr()
+	cfg.Duration = 10 * time.Minute // far longer than the test will allow
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (res=%v)", err, res)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return results")
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("cancellation took %v; want prompt abort at an event boundary", el)
+	}
 }
 
 func TestNormalizedQualityCurves(t *testing.T) {

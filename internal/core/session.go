@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,6 +42,12 @@ type Results struct {
 	Patch     []SeriesPoint // patch share, kbps
 	LinkRate  []SeriesPoint // true available bandwidth, kbps
 
+	// Timeline is the materialized trainer ON/OFF series (Figure 16). It is
+	// populated lazily by TrainerTimeline from the live event trace and
+	// persisted by the sweep session cache, so a cache round-trip (which
+	// cannot carry the live registry) still answers TrainerTimeline.
+	Timeline []StateChange
+
 	GPUTrainBusy    time.Duration
 	FramesDecoded   int
 	FramesLost      int
@@ -69,16 +76,16 @@ func (r *Results) Telemetry() *telemetry.Registry { return r.reg }
 
 // TrainerTimeline reconstructs the content-adaptive trainer's ON/OFF
 // timeline (Figure 16) from the run's trainer_state events. The first entry
-// is the state at t=0; each subsequent entry is a transition.
+// is the state at t=0; each subsequent entry is a transition. The series is
+// materialized into Timeline on first call; cached results restored without
+// a live registry return the persisted Timeline as-is.
 func (r *Results) TrainerTimeline() []StateChange {
-	if r.reg == nil {
-		return nil
+	if r.Timeline == nil && r.reg != nil {
+		for _, ev := range r.reg.EventsByType("trainer_state") {
+			r.Timeline = append(r.Timeline, StateChange{T: ev.T, State: ev.StrField("state")})
+		}
 	}
-	var tl []StateChange
-	for _, ev := range r.reg.EventsByType("trainer_state") {
-		tl = append(tl, StateChange{T: ev.T, State: ev.StrField("state")})
-	}
-	return tl
+	return r.Timeline
 }
 
 // TelemetrySummary condenses the run into the machine-readable summary the
@@ -114,11 +121,38 @@ func (r *Results) TelemetrySummary() telemetry.RunSummary {
 }
 
 // Run executes one full ingest session on the discrete-event simulator and
-// returns its results. It is deterministic for a fixed Config.
+// returns its results. It is deterministic for a fixed Config. Run is the
+// legacy entry point: it panics on an invalid config and cannot be
+// cancelled; new code should prefer RunContext.
 func Run(cfg Config) *Results {
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// cancelCheckEvery is how many simulator events RunContext executes between
+// context checks: frequent enough that cancellation lands within
+// milliseconds of wall time, rare enough that the check cost vanishes
+// against event execution.
+const cancelCheckEvery = 512
+
+// RunContext executes one full ingest session on the discrete-event
+// simulator and returns its results. It is deterministic for a fixed
+// Config: the context bounds the run but never influences results — a run
+// that completes is bitwise identical whatever context carried it.
+//
+// The config is validated up front (Config.Validate) and geometry errors
+// are returned rather than panicking. Cancellation is observed at
+// simulator-event boundaries: when ctx is cancelled mid-run, RunContext
+// releases session resources (dedicated kernel-pool workers are joined) and
+// returns ctx's error with nil Results.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	scale := cfg.Scale() // validates geometry up front
-	_ = scale
 	reg := cfg.Telemetry
 
 	s := sim.New()
@@ -213,7 +247,19 @@ func Run(cfg Config) *Results {
 	}
 	s.After(cfg.MetricEvery, metric)
 
-	s.RunUntil(cfg.Duration)
+	for s.StepUntil(cfg.Duration, cancelCheckEvery) {
+		if err := ctx.Err(); err != nil {
+			// Abandon the run at an event boundary: no simulator callback is
+			// in flight, so the dedicated kernel pool (if any) is idle and
+			// safe to join.
+			sv.close()
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		sv.close()
+		return nil, err
+	}
 
 	// Aggregate.
 	var psnrs, ssims []float64
@@ -242,7 +288,7 @@ func Run(cfg Config) *Results {
 	res.AvgVideoKbps = meanSeries(res.Video)
 	res.AvgPatchKbps = meanSeries(res.Patch)
 	sv.close()
-	return res
+	return res, nil
 }
 
 func meanSeries(ps []SeriesPoint) float64 {

@@ -3,10 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"livenas/internal/core"
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/sr"
+	"livenas/internal/sweep"
 	"livenas/internal/vidgen"
 )
 
@@ -210,7 +210,7 @@ func AblationRecency(o Options) *Table {
 
 // AblationScheduler compares the gradient-ascent scheduler against fixed
 // patch-bitrate allocations in the full pipeline.
-func AblationScheduler(o Options) *Table {
+func AblationScheduler(o Options, run *sweep.Runner) *Table {
 	tr := o.uplinks(1, 70)[0]
 	base := o.baseConfig(vidgen.JustChatting, 2)
 	base.Trace = tr
@@ -219,13 +219,19 @@ func AblationScheduler(o Options) *Table {
 		Title:  "Ablation: quality-optimizing scheduler vs fixed patch bitrate",
 		Header: []string{"policy", "PSNR_dB", "avg_patch_kbps"},
 	}
-	r := core.Run(base)
-	t.Add("gradient-scheduler", r.AvgPSNR, r.AvgPatchKbps)
-	for _, mult := range []float64{0.5, 1, 3, 8} {
+	hSched := run.Go(base)
+	mults := []float64{0.5, 1, 3, 8}
+	hFixed := make([]*sweep.Handle, len(mults))
+	for i, mult := range mults {
 		cfg := base
 		cfg.StepKbps = 0.0001 // freeze updates: effectively a fixed rate
 		cfg.InitPatchKbps = base.InitPatchKbps * mult
-		fr := core.Run(cfg)
+		hFixed[i] = run.Go(cfg)
+	}
+	r := wait(hSched)
+	t.Add("gradient-scheduler", r.AvgPSNR, r.AvgPatchKbps)
+	for i, mult := range mults {
+		fr := wait(hFixed[i])
 		t.Add(fmt.Sprintf("fixed(%.1fx init)", mult), fr.AvgPSNR, fr.AvgPatchKbps)
 	}
 	t.Notes = "the scheduler should match or beat every fixed allocation"
@@ -235,7 +241,7 @@ func AblationScheduler(o Options) *Table {
 // AblationFunctionalCodec compares the normalized-curve video-quality
 // gradient (§5.1) with the functional-codec direct probe (§9's extension):
 // the probe measures dQvideo/dv exactly where the curve only models it.
-func AblationFunctionalCodec(o Options) *Table {
+func AblationFunctionalCodec(o Options, run *sweep.Runner) *Table {
 	tr := o.uplinks(1, 80)[0]
 	base := o.baseConfig(vidgen.JustChatting, 2)
 	base.Trace = tr
@@ -244,11 +250,12 @@ func AblationFunctionalCodec(o Options) *Table {
 		Title:  "Ablation: normalized-curve gradient vs functional-codec probe",
 		Header: []string{"estimator", "PSNR_dB", "avg_patch_kbps"},
 	}
-	r := core.Run(base)
-	t.Add("normalized-curve", r.AvgPSNR, r.AvgPatchKbps)
 	fc := base
 	fc.FunctionalCodec = true
-	rf := core.Run(fc)
+	hCurve, hProbe := run.Go(base), run.Go(fc)
+	r := wait(hCurve)
+	t.Add("normalized-curve", r.AvgPSNR, r.AvgPatchKbps)
+	rf := wait(hProbe)
 	t.Add("functional-probe", rf.AvgPSNR, rf.AvgPatchKbps)
 	t.Notes = "the probe should match or beat the curve estimate (paper §9: functional codecs would 'determine the quality of encoding at different bitrates more accurately')"
 	return t

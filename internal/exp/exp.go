@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"livenas/internal/core"
+	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
@@ -214,22 +215,62 @@ func (o Options) uplinks(n int, seed int64) []*trace.Trace {
 	return out
 }
 
-// meanGain runs cfg across traces for scheme and base scheme, returning
-// (meanGainDB, meanTrainShare, meanPSNR, basePSNR).
-func meanGain(cfg core.Config, traces []*trace.Trace, scheme core.Scheme) (gain, share, psnr, base float64) {
-	var n float64
+// SweepBenchGrid returns the fixed grid scripts/bench.sh times serially and
+// in parallel (BENCH_sweep.json): eight distinct short sessions — no
+// memoization overlap — so the parallel run can occupy several workers.
+func SweepBenchGrid(o Options) sweep.Grid {
+	base := o.baseConfig(vidgen.JustChatting, 2)
+	base.Duration = 15 * time.Second
+	return sweep.Grid{
+		Base:     base,
+		Schemes:  []core.Scheme{core.SchemeWebRTC, core.SchemeLiveNAS},
+		Contents: []vidgen.Category{vidgen.JustChatting, vidgen.Fortnite},
+		Traces:   o.uplinks(2, 990),
+	}
+}
+
+// wait unwraps a sweep handle inside a figure generator. The table contract
+// has no error channel, so failures — invalid configs, a cancelled sweep —
+// surface as panics, exactly as core.Run always has.
+func wait(h *sweep.Handle) *core.Results {
+	res, err := h.Wait()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// gainJob is a mean-gain measurement in flight: the WebRTC baseline and the
+// scheme run for each trace, submitted to the sweep runner. Figures submit
+// all their jobs first and collect afterwards, so every session of the
+// figure is in the runner's queue before the first result is awaited; the
+// runner memoizes the WebRTC baselines repeated across a figure's columns.
+type gainJob struct{ web, run []*sweep.Handle }
+
+// submitGain submits cfg across traces for scheme plus the WebRTC baseline.
+func submitGain(r *sweep.Runner, cfg core.Config, traces []*trace.Trace, scheme core.Scheme) gainJob {
+	var j gainJob
 	for _, tr := range traces {
 		c := cfg
 		c.Trace = tr
 		c.Scheme = core.SchemeWebRTC
-		web := core.Run(c)
+		j.web = append(j.web, r.Go(c))
 		c.Scheme = scheme
-		r := core.Run(c)
+		j.run = append(j.run, r.Go(c))
+	}
+	return j
+}
+
+// mean collects the job: (meanGainDB, meanTrainShare, meanPSNR, basePSNR).
+func (j gainJob) mean() (gain, share, psnr, base float64) {
+	n := float64(len(j.web))
+	for i := range j.web {
+		web := wait(j.web[i])
+		r := wait(j.run[i])
 		gain += r.GainOver(web)
 		share += r.TrainingShare()
 		psnr += r.AvgPSNR
 		base += web.AvgPSNR
-		n++
 	}
 	return gain / n, share / n, psnr / n, base / n
 }

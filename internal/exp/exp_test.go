@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"livenas/internal/sweep"
 )
 
 func fastOpts() Options {
@@ -12,6 +15,12 @@ func fastOpts() Options {
 	o.Duration = 25 * time.Second
 	o.Traces = 1
 	return o
+}
+
+// testRunner gives swept figures a small concurrent runner, exercising the
+// submit-then-collect path the harness uses in production.
+func testRunner() *sweep.Runner {
+	return sweep.New(context.Background(), sweep.Options{Workers: 2})
 }
 
 func TestTableString(t *testing.T) {
@@ -174,7 +183,7 @@ func TestFig22DiminishingGradient(t *testing.T) {
 }
 
 func TestFig20QoEImproves(t *testing.T) {
-	tables := Fig20(fastOpts())
+	tables := Fig20(fastOpts(), testRunner())
 	if len(tables) != 2 {
 		t.Fatalf("tables %d", len(tables))
 	}

@@ -12,6 +12,7 @@ import (
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/sr"
+	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
@@ -50,7 +51,7 @@ func trainGainCurve(cat vidgen.Category, w worldScale, epochs int, seed int64) [
 // ingest runs produce LiveNAS's PSNR gain; the effective-bitrate mapping
 // boosts the ladder; Pensieve-like and robustMPC ABRs play the chunks over
 // FCC and Pensieve downlink trace sets.
-func Fig20(o Options) []*Table {
+func Fig20(o Options, r *sweep.Runner) []*Table {
 	// Ingest gains: JC at 540p-class ingest (target 1080p-class) and
 	// Sports at 1080p-class ingest (target 4K-class), as in §8.3. The
 	// ingest measurement needs at least a minute for online training to
@@ -59,10 +60,10 @@ func Fig20(o Options) []*Table {
 		o.Duration = time.Minute
 	}
 	traces := o.uplinks(1, 200)
-	jc := o.baseConfig(vidgen.JustChatting, 2)
-	gJC, _, _, bJC := meanGain(jc, traces, core.SchemeLiveNAS)
-	sp := o.fourKConfig(vidgen.Sports, 2)
-	gSP, _, _, bSP := meanGain(sp, traces, core.SchemeLiveNAS)
+	jcJob := submitGain(r, o.baseConfig(vidgen.JustChatting, 2), traces, core.SchemeLiveNAS)
+	spJob := submitGain(r, o.fourKConfig(vidgen.Sports, 2), traces, core.SchemeLiveNAS)
+	gJC, _, _, bJC := jcJob.mean()
+	gSP, _, _, bSP := spJob.mean()
 
 	// Effective-bitrate boost factors from the inverse quality mapping.
 	// A media server transcodes from the better of the SR output and the
@@ -132,15 +133,15 @@ func Fig20(o Options) []*Table {
 // Fig21 reproduces Figures 21/24: the per-cell PSNR map of the ingest
 // stream before and after online training — quality improves even in cells
 // never transmitted as patches.
-func Fig21(o Options) *Table {
+func Fig21(o Options, run *sweep.Runner) *Table {
 	tr := o.uplinks(1, 210)[0]
 	cfg := o.baseConfig(vidgen.JustChatting, 2)
 	cfg.Trace = tr
 
 	web := cfg
 	web.Scheme = core.SchemeWebRTC
-	wr := core.Run(web)
-	ln := core.Run(cfg)
+	hWeb, hLn := run.Go(web), run.Go(cfg)
+	wr, ln := wait(hWeb), wait(hLn)
 
 	t := &Table{
 		ID:     "fig21",
@@ -195,23 +196,29 @@ func Fig21(o Options) *Table {
 }
 
 // Fig25 reproduces Figure 25: the quality improvement in SSIM.
-func Fig25(o Options) *Table {
+func Fig25(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig25",
 		Title:  "Quality improvement in SSIM",
 		Header: []string{"content", "Generic_dSSIM", "LiveNAS_dSSIM"},
 	}
 	traces := o.uplinks(1, 250)
-	for _, cat := range []vidgen.Category{vidgen.JustChatting, vidgen.LeagueOfLegends, vidgen.Fortnite} {
-		cfg := o.baseConfig(cat, 3)
-		cfg.MeasureSSIM = true
-		cfg.Trace = traces[0]
-		cfg.Scheme = core.SchemeWebRTC
-		web := core.Run(cfg)
-		cfg.Scheme = core.SchemeGeneric
-		gen := core.Run(cfg)
-		cfg.Scheme = core.SchemeLiveNAS
-		ln := core.Run(cfg)
+	cats := []vidgen.Category{vidgen.JustChatting, vidgen.LeagueOfLegends, vidgen.Fortnite}
+	hs := r.GoGrid(sweep.Grid{
+		Base: func() core.Config {
+			cfg := o.baseConfig(cats[0], 3)
+			cfg.MeasureSSIM = true
+			cfg.Trace = traces[0]
+			return cfg
+		}(),
+		Contents: cats,
+		Schemes:  []core.Scheme{core.SchemeWebRTC, core.SchemeGeneric, core.SchemeLiveNAS},
+	})
+	// Grid order: schemes outermost, contents within — hs[s*len(cats)+c].
+	for c, cat := range cats {
+		web := wait(hs[0*len(cats)+c])
+		gen := wait(hs[1*len(cats)+c])
+		ln := wait(hs[2*len(cats)+c])
 		t.Add(cat.String(), fmt.Sprintf("%+.4f", gen.AvgSSIM-web.AvgSSIM), fmt.Sprintf("%+.4f", ln.AvgSSIM-web.AvgSSIM))
 	}
 	t.Notes = "paper: generic SR sometimes loses SSIM to WebRTC; LiveNAS does not"
@@ -220,24 +227,35 @@ func Fig25(o Options) *Table {
 
 // Fig26to29 reproduces Figures 26-29: per-trace absolute quality, one row
 // per (content, trace).
-func Fig26to29(o Options) *Table {
+func Fig26to29(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig26-29",
 		Title:  "Per-trace absolute quality (dB)",
 		Header: []string{"content", "trace_avg_kbps", "WebRTC", "Generic", "LiveNAS"},
 	}
 	traces := o.uplinks(3, 260)
-	for _, cat := range []vidgen.Category{vidgen.JustChatting, vidgen.WorldOfWarcraft, vidgen.Fortnite} {
+	cats := []vidgen.Category{vidgen.JustChatting, vidgen.WorldOfWarcraft, vidgen.Fortnite}
+	type cell struct{ web, gen, ln *sweep.Handle }
+	var cells []cell
+	for _, cat := range cats {
 		for _, tr := range traces {
 			cfg := o.baseConfig(cat, 3)
 			cfg.Trace = tr
 			cfg.Scheme = core.SchemeWebRTC
-			web := core.Run(cfg)
+			c := cell{web: r.Go(cfg)}
 			cfg.Scheme = core.SchemeGeneric
-			gen := core.Run(cfg)
+			c.gen = r.Go(cfg)
 			cfg.Scheme = core.SchemeLiveNAS
-			ln := core.Run(cfg)
-			t.Add(cat.String(), tr.Avg(), web.AvgPSNR, gen.AvgPSNR, ln.AvgPSNR)
+			c.ln = r.Go(cfg)
+			cells = append(cells, c)
+		}
+	}
+	i := 0
+	for _, cat := range cats {
+		for _, tr := range traces {
+			c := cells[i]
+			i++
+			t.Add(cat.String(), tr.Avg(), wait(c.web).AvgPSNR, wait(c.gen).AvgPSNR, wait(c.ln).AvgPSNR)
 		}
 	}
 	return t

@@ -10,6 +10,7 @@ import (
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/sr"
+	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
@@ -53,21 +54,26 @@ func Fig2a(o Options) *Table {
 
 // Fig2b reproduces Figure 2b: LiveNAS quality vs WebRTC while scaling the
 // trace bandwidth x1/x1.5/x2 — SR is worth roughly a 1.5-2x bandwidth bump.
-func Fig2b(o Options) *Table {
+func Fig2b(o Options, r *sweep.Runner) *Table {
 	tr := o.uplinks(1, 22)[0]
 	t := &Table{
 		ID:     "fig2b",
 		Title:  "Super-resolution provides gains comparable to 1.5-2x bandwidth",
 		Header: []string{"bw_scale", "WebRTC_dB", "LiveNAS_dB"},
 	}
-	for _, s := range []float64{1, 1.5, 2} {
+	scales := []float64{1, 1.5, 2}
+	type pair struct{ web, ln *sweep.Handle }
+	ps := make([]pair, len(scales))
+	for i, s := range scales {
 		cfg := o.baseConfig(vidgen.Sports, 2)
 		cfg.Trace = tr.Scale(s)
 		cfg.Scheme = core.SchemeWebRTC
-		web := core.Run(cfg)
+		ps[i].web = r.Go(cfg)
 		cfg.Scheme = core.SchemeLiveNAS
-		ln := core.Run(cfg)
-		t.Add(fmt.Sprintf("x%.1f", s), web.AvgPSNR, ln.AvgPSNR)
+		ps[i].ln = r.Go(cfg)
+	}
+	for i, s := range scales {
+		t.Add(fmt.Sprintf("x%.1f", s), wait(ps[i].web).AvgPSNR, wait(ps[i].ln).AvgPSNR)
 	}
 	t.Notes = "LiveNAS at x1 should approach WebRTC at x1.5-x2 (paper Fig 2b)"
 	return t
@@ -76,25 +82,30 @@ func Fig2b(o Options) *Table {
 // Fig2c reproduces Figure 2c: across three consecutive live-stream sessions,
 // online learning on fresh data beats a model pre-trained on the previous
 // session, which in turn (barely) beats plain bilinear.
-func Fig2c(o Options) *Table {
+func Fig2c(o Options, r *sweep.Runner) *Table {
 	tr := o.uplinks(1, 23)[0]
 	t := &Table{
 		ID:     "fig2c",
 		Title:  "Online learning with fresh data has a clear advantage",
 		Header: []string{"session", "Bilinear_dB", "Pretrained_dB", "Online_dB"},
 	}
-	for day := 0; day < 3; day++ {
+	type day struct{ bil, pre, on *sweep.Handle }
+	var days []day
+	for d := 0; d < 3; d++ {
 		cfg := o.baseConfig(vidgen.JustChatting, 2)
 		cfg.Trace = tr
-		cfg.Seed = 300 + o.Seed + int64(day)
+		cfg.Seed = 300 + o.Seed + int64(d)
 		cfg.PretrainSeed = cfg.Seed - 1 // "previous day's stream"
 		cfg.Scheme = core.SchemeWebRTC
-		bil := core.Run(cfg)
+		dd := day{bil: r.Go(cfg)}
 		cfg.Scheme = core.SchemePretrained
-		pre := core.Run(cfg)
+		dd.pre = r.Go(cfg)
 		cfg.Scheme = core.SchemeLiveNAS
-		on := core.Run(cfg)
-		t.Add(fmt.Sprintf("day-%d", day+1), bil.AvgPSNR, pre.AvgPSNR, on.AvgPSNR)
+		dd.on = r.Go(cfg)
+		days = append(days, dd)
+	}
+	for d, dd := range days {
+		t.Add(fmt.Sprintf("day-%d", d+1), wait(dd.bil).AvgPSNR, wait(dd.pre).AvgPSNR, wait(dd.on).AvgPSNR)
 	}
 	return t
 }
@@ -158,12 +169,27 @@ func Fig2d(o Options) []*Table {
 // Fig5 reproduces the Figure 5 case study: the quality-optimizing scheduler
 // on a 3G trace, with the computed gradient and the patch/video split, plus
 // a fixed-allocation sweep standing in for the offline-optimal search.
-func Fig5(o Options) *Table {
+func Fig5(o Options, run *sweep.Runner) *Table {
 	w := o.world()
 	tr3g := trace.ThreeG(5+o.Seed, o.duration()+time.Minute).Scale(w.kbpsScale * 5)
 	cfg := o.baseConfig(vidgen.Sports, 2)
 	cfg.Trace = tr3g
-	r := core.Run(cfg)
+	hMain := run.Go(cfg)
+
+	// Fixed-allocation sweep (the paper's §8.2 note: the scheduler beats
+	// any fixed patch bandwidth), submitted alongside the main session.
+	fixedScales := []float64{0, 0.5, 1, 2, 4}
+	hFixed := make([]*sweep.Handle, len(fixedScales))
+	for i, fixed := range fixedScales {
+		c := cfg
+		c.StepKbps = 0.0001 // freeze gradient steps
+		c.InitPatchKbps = fixed * cfg.InitPatchKbps
+		if fixed == 0 {
+			c.Scheme = core.SchemeWebRTC
+		}
+		hFixed[i] = run.Go(c)
+	}
+	r := wait(hMain)
 
 	t := &Table{
 		ID:     "fig5",
@@ -177,17 +203,9 @@ func Fig5(o Options) *Table {
 		t.Add(fmt.Sprintf("%.0f", g.T.Seconds()), g.TargetKbps, g.VideoKbps, g.PatchKbps, fmt.Sprintf("%+.4f", g.Gradient))
 	}
 
-	// Fixed-allocation sweep (the paper's §8.2 note: the scheduler beats
-	// any fixed patch bandwidth).
 	best, bestPSNR := 0.0, 0.0
-	for _, fixed := range []float64{0, 0.5, 1, 2, 4} {
-		c := cfg
-		c.StepKbps = 0.0001 // freeze gradient steps
-		c.InitPatchKbps = fixed * cfg.InitPatchKbps
-		if fixed == 0 {
-			c.Scheme = core.SchemeWebRTC
-		}
-		fr := core.Run(c)
+	for i, fixed := range fixedScales {
+		fr := wait(hFixed[i])
 		if fr.AvgPSNR > bestPSNR {
 			bestPSNR = fr.AvgPSNR
 			best = fixed

@@ -5,29 +5,47 @@ import (
 
 	"livenas/internal/codec"
 	"livenas/internal/core"
+	"livenas/internal/sweep"
 	"livenas/internal/vidgen"
 )
 
 // Fig9 reproduces Figure 9: end-to-end PSNR gains over WebRTC for the five
 // Twitch categories at both 1080p-class ingest scales (x3 = "360p",
 // x2 = "540p"), for the Generic / Pretrained / LiveNAS schemes, plus the
-// GPU training time (Fig 9d).
-func Fig9(o Options) []*Table {
+// GPU training time (Fig 9d). Every session of both scales is submitted to
+// the sweep runner before any is awaited.
+func Fig9(o Options, r *sweep.Runner) []*Table {
+	type row struct {
+		cat            vidgen.Category
+		gen, pre, lnas gainJob
+	}
+	scales := []int{3, 2}
+	jobs := make([][]row, len(scales))
+	for i, scale := range scales {
+		traces := o.uplinks(o.traces(), 90+int64(scale))
+		for _, cat := range vidgen.TwitchCategories() {
+			cfg := o.baseConfig(cat, scale)
+			jobs[i] = append(jobs[i], row{
+				cat:  cat,
+				gen:  submitGain(r, cfg, traces, core.SchemeGeneric),
+				pre:  submitGain(r, cfg, traces, core.SchemePretrained),
+				lnas: submitGain(r, cfg, traces, core.SchemeLiveNAS),
+			})
+		}
+	}
 	var out []*Table
-	for _, scale := range []int{3, 2} {
+	for i, scale := range scales {
 		name := map[int]string{3: "360p", 2: "540p"}[scale]
 		t := &Table{
 			ID:     fmt.Sprintf("fig9-%s", name),
 			Title:  fmt.Sprintf("Twitch ingest %s -> 1080p-class: PSNR gain over WebRTC (dB)", name),
 			Header: []string{"content", "Generic", "Pretrained", "LiveNAS", "train_share"},
 		}
-		traces := o.uplinks(o.traces(), 90+int64(scale))
-		for _, cat := range vidgen.TwitchCategories() {
-			cfg := o.baseConfig(cat, scale)
-			gGen, _, _, _ := meanGain(cfg, traces, core.SchemeGeneric)
-			gPre, _, _, _ := meanGain(cfg, traces, core.SchemePretrained)
-			gLnas, share, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
-			t.Add(cat.String(), gGen, gPre, gLnas, fmt.Sprintf("%.0f%%", share*100))
+		for _, rw := range jobs[i] {
+			gGen, _, _, _ := rw.gen.mean()
+			gPre, _, _, _ := rw.pre.mean()
+			gLnas, share, _, _ := rw.lnas.mean()
+			t.Add(rw.cat.String(), gGen, gPre, gLnas, fmt.Sprintf("%.0f%%", share*100))
 		}
 		t.Notes = "expect LiveNAS > Pretrained > Generic > 0; train_share well below 100% (Fig 9d)"
 		out = append(out, t)
@@ -39,21 +57,36 @@ func Fig9(o Options) []*Table {
 // target (x3 = "720p" ingest, x2 = "1080p" ingest), Generic vs LiveNAS,
 // plus GPU usage. No prior sessions exist for these videos (as in the
 // paper), so Pretrained is omitted.
-func Fig10(o Options) []*Table {
+func Fig10(o Options, r *sweep.Runner) []*Table {
+	type row struct {
+		cat       vidgen.Category
+		gen, lnas gainJob
+	}
+	scales := []int{3, 2}
+	jobs := make([][]row, len(scales))
+	for i, scale := range scales {
+		traces := o.uplinks(o.traces(), 100+int64(scale))
+		for _, cat := range vidgen.YouTubeCategories() {
+			cfg := o.fourKConfig(cat, scale)
+			jobs[i] = append(jobs[i], row{
+				cat:  cat,
+				gen:  submitGain(r, cfg, traces, core.SchemeGeneric),
+				lnas: submitGain(r, cfg, traces, core.SchemeLiveNAS),
+			})
+		}
+	}
 	var out []*Table
-	for _, scale := range []int{3, 2} {
+	for i, scale := range scales {
 		name := map[int]string{3: "720p", 2: "1080p"}[scale]
 		t := &Table{
 			ID:     fmt.Sprintf("fig10-%s", name),
 			Title:  fmt.Sprintf("YouTube ingest %s -> 4K-class: PSNR gain over WebRTC (dB)", name),
 			Header: []string{"content", "Generic", "LiveNAS", "train_share"},
 		}
-		traces := o.uplinks(o.traces(), 100+int64(scale))
-		for _, cat := range vidgen.YouTubeCategories() {
-			cfg := o.fourKConfig(cat, scale)
-			gGen, _, _, _ := meanGain(cfg, traces, core.SchemeGeneric)
-			gLnas, share, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
-			t.Add(cat.String(), gGen, gLnas, fmt.Sprintf("%.0f%%", share*100))
+		for _, rw := range jobs[i] {
+			gGen, _, _, _ := rw.gen.mean()
+			gLnas, share, _, _ := rw.lnas.mean()
+			t.Add(rw.cat.String(), gGen, gLnas, fmt.Sprintf("%.0f%%", share*100))
 		}
 		t.Notes = "larger SR factor (x3) needs more GPU than x2 (paper Fig 10d)"
 		out = append(out, t)
@@ -63,21 +96,36 @@ func Fig10(o Options) []*Table {
 
 // Fig11 reproduces Figure 11: persistent online learning (warm-starting
 // from the previous session's final model) adds on top of plain LiveNAS.
-func Fig11(o Options) *Table {
+func Fig11(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Persistent online learning (gain over WebRTC, dB)",
 		Header: []string{"content", "Generic", "Pretrained", "LiveNAS", "LiveNAS_persistent"},
 	}
 	traces := o.uplinks(o.traces(), 110)
+	type row struct {
+		cat                  vidgen.Category
+		gen, pre, lnas, pers gainJob
+	}
+	var rows []row
 	for _, cat := range []vidgen.Category{vidgen.LeagueOfLegends, vidgen.JustChatting, vidgen.WorldOfWarcraft} {
 		cfg := o.baseConfig(cat, 3)
-		gGen, _, _, _ := meanGain(cfg, traces, core.SchemeGeneric)
-		gPre, _, _, _ := meanGain(cfg, traces, core.SchemePretrained)
-		gLnas, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
+		rw := row{
+			cat:  cat,
+			gen:  submitGain(r, cfg, traces, core.SchemeGeneric),
+			pre:  submitGain(r, cfg, traces, core.SchemePretrained),
+			lnas: submitGain(r, cfg, traces, core.SchemeLiveNAS),
+		}
 		cfg.Persistent = true
-		gPers, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
-		t.Add(cat.String(), gGen, gPre, gLnas, gPers)
+		rw.pers = submitGain(r, cfg, traces, core.SchemeLiveNAS)
+		rows = append(rows, rw)
+	}
+	for _, rw := range rows {
+		gGen, _, _, _ := rw.gen.mean()
+		gPre, _, _, _ := rw.pre.mean()
+		gLnas, _, _, _ := rw.lnas.mean()
+		gPers, _, _, _ := rw.pers.mean()
+		t.Add(rw.cat.String(), gGen, gPre, gLnas, gPers)
 	}
 	t.Notes = "paper: persistent adds 0.37-0.7 dB over plain LiveNAS"
 	return t
@@ -85,24 +133,34 @@ func Fig11(o Options) *Table {
 
 // Fig12 reproduces Figure 12: multi-GPU online training improves quality
 // with diminishing returns.
-func Fig12(o Options) *Table {
+func Fig12(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Multi-GPU training (gain over WebRTC, dB)",
 		Header: []string{"content", "GPUx1", "GPUx3"},
 	}
 	traces := o.uplinks(o.traces(), 120)
+	type row struct {
+		cat    vidgen.Category
+		g1, g3 gainJob
+	}
+	var rows []row
 	for _, cat := range []vidgen.Category{vidgen.LeagueOfLegends, vidgen.JustChatting, vidgen.WorldOfWarcraft} {
 		cfg := o.baseConfig(cat, 3)
-		g1, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
+		rw := row{cat: cat, g1: submitGain(r, cfg, traces, core.SchemeLiveNAS)}
 		cfg.TrainGPUs = 3
 		// Faster epochs let the trainer take more steps per window: model
 		// the paper's accelerated learning by scaling iterations.
 		tc := cfg.TrainCfg
 		tc.ItersPerEpoch = 3 * 16
 		cfg.TrainCfg = tc
-		g3, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
-		t.Add(cat.String(), g1, g3)
+		rw.g3 = submitGain(r, cfg, traces, core.SchemeLiveNAS)
+		rows = append(rows, rw)
+	}
+	for _, rw := range rows {
+		g1, _, _, _ := rw.g1.mean()
+		g3, _, _, _ := rw.g3.mean()
+		t.Add(rw.cat.String(), g1, g3)
 	}
 	t.Notes = "paper: +0.77-1.1 dB additional gain with 3 GPUs"
 	return t
@@ -110,7 +168,8 @@ func Fig12(o Options) *Table {
 
 // Fig13 reproduces Figure 13: the bandwidth WebRTC needs (as a scale factor
 // on the trace) to match LiveNAS quality; reported as LiveNAS's normalized
-// bandwidth usage.
+// bandwidth usage. The WebRTC scale sweep stops as soon as a scale matches,
+// so it stays a sequential search rather than a sweep submission.
 func Fig13(o Options) *Table {
 	t := &Table{
 		ID:     "fig13",
@@ -152,20 +211,30 @@ func Fig13(o Options) *Table {
 
 // Fig14 reproduces Figure 14: the LiveNAS gain is codec-agnostic (BX8 vs
 // BX9, the VP8/VP9 stand-ins).
-func Fig14(o Options) *Table {
+func Fig14(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig14",
 		Title:  "LiveNAS is codec-agnostic (gain over WebRTC, dB)",
 		Header: []string{"content", "BX8(VP8)", "BX9(VP9)"},
 	}
 	traces := o.uplinks(o.traces(), 140)
+	type row struct {
+		cat    vidgen.Category
+		g8, g9 gainJob
+	}
+	var rows []row
 	for _, cat := range []vidgen.Category{vidgen.LeagueOfLegends, vidgen.JustChatting, vidgen.WorldOfWarcraft} {
 		cfg := o.baseConfig(cat, 3)
 		cfg.Profile = codec.BX8
-		g8, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
+		rw := row{cat: cat, g8: submitGain(r, cfg, traces, core.SchemeLiveNAS)}
 		cfg.Profile = codec.BX9
-		g9, _, _, _ := meanGain(cfg, traces, core.SchemeLiveNAS)
-		t.Add(cat.String(), g8, g9)
+		rw.g9 = submitGain(r, cfg, traces, core.SchemeLiveNAS)
+		rows = append(rows, rw)
+	}
+	for _, rw := range rows {
+		g8, _, _, _ := rw.g8.mean()
+		g9, _, _, _ := rw.g9.mean()
+		t.Add(rw.cat.String(), g8, g9)
 	}
 	t.Notes = "gains should be nearly equal across codecs"
 	return t

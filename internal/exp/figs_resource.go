@@ -8,38 +8,54 @@ import (
 	"livenas/internal/core"
 	"livenas/internal/metrics"
 	"livenas/internal/power"
+	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
 
-// runPolicy executes a LiveNAS session under one training policy.
-func runPolicy(cfg core.Config, tr *trace.Trace, p core.TrainPolicy) *core.Results {
+// submitPolicy submits a LiveNAS session under one training policy.
+func submitPolicy(r *sweep.Runner, cfg core.Config, tr *trace.Trace, p core.TrainPolicy) *sweep.Handle {
 	c := cfg
 	c.Trace = tr
 	c.TrainPolicy = p
 	c.Scheme = core.SchemeLiveNAS
-	return core.Run(c)
+	return r.Go(c)
 }
+
+// fig15Policies is Figure 15's comparison set, in row order.
+var fig15Policies = []core.TrainPolicy{core.TrainOneTime, core.TrainEarlyStop, core.TrainAdaptive, core.TrainContinuous}
 
 // Fig15 reproduces Figure 15: per-scheme GPU training time (normalized to
 // stream duration) versus delivered quality.
-func Fig15(o Options) *Table {
+func Fig15(o Options, r *sweep.Runner) *Table {
 	t := &Table{
 		ID:     "fig15",
 		Title:  "GPU usage vs quality per training scheme",
 		Header: []string{"content", "scheme", "norm_gpu_time", "PSNR_dB"},
 	}
 	tr := o.uplinks(1, 150)[0]
+	type row struct {
+		cat  vidgen.Category
+		web  *sweep.Handle
+		pols []*sweep.Handle
+	}
+	var rows []row
 	for _, cat := range []vidgen.Category{vidgen.JustChatting, vidgen.LeagueOfLegends, vidgen.Fortnite} {
 		cfg := o.baseConfig(cat, 3)
 		web := cfg
 		web.Trace = tr
 		web.Scheme = core.SchemeWebRTC
-		wr := core.Run(web)
-		t.Add(cat.String(), "WebRTC", 0.0, wr.AvgPSNR)
-		for _, pol := range []core.TrainPolicy{core.TrainOneTime, core.TrainEarlyStop, core.TrainAdaptive, core.TrainContinuous} {
-			r := runPolicy(cfg, tr, pol)
-			t.Add(cat.String(), pol.String(), r.TrainingShare(), r.AvgPSNR)
+		rw := row{cat: cat, web: r.Go(web)}
+		for _, pol := range fig15Policies {
+			rw.pols = append(rw.pols, submitPolicy(r, cfg, tr, pol))
+		}
+		rows = append(rows, rw)
+	}
+	for _, rw := range rows {
+		t.Add(rw.cat.String(), "WebRTC", 0.0, wait(rw.web).AvgPSNR)
+		for i, pol := range fig15Policies {
+			pr := wait(rw.pols[i])
+			t.Add(rw.cat.String(), pol.String(), pr.TrainingShare(), pr.AvgPSNR)
 		}
 	}
 	t.Notes = "content-adaptive should approach continuous quality at a fraction of its GPU time"
@@ -48,12 +64,14 @@ func Fig15(o Options) *Table {
 
 // Fig16 reproduces the Figure 16 case study: the content-adaptive trainer's
 // ON/OFF timeline on a stream with multiple scene transitions.
-func Fig16(o Options) *Table {
+func Fig16(o Options, run *sweep.Runner) *Table {
 	tr := o.uplinks(1, 160)[0]
 	cfg := o.baseConfig(vidgen.Fortnite, 2) // most scene changes
 	cfg.Duration = 2 * o.duration()
 	cfg.Trace = tr
-	r := core.Run(cfg)
+	hAdaptive := run.Go(cfg)
+	hCont := submitPolicy(run, cfg, tr, core.TrainContinuous)
+	r := wait(hAdaptive)
 	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.Seed, cfg.Duration.Seconds()+60)
 
 	t := &Table{
@@ -70,7 +88,7 @@ func Fig16(o Options) *Table {
 			changes = append(changes, fmt.Sprintf("%.0fs", c))
 		}
 	}
-	cont := runPolicy(cfg, tr, core.TrainContinuous)
+	cont := wait(hCont)
 	saving := 1 - r.GPUTrainBusy.Seconds()/cont.GPUTrainBusy.Seconds()
 	t.Notes = fmt.Sprintf("scene changes at %v; GPU saving vs continuous: %.0f%% (paper case study: 54%%)", changes, saving*100)
 	return t
@@ -97,7 +115,7 @@ func Fig17(o Options) *Table {
 
 // Fig18 reproduces Figure 18: PSNR gain over WebRTC per time interval of
 // the stream, for adaptive / continuous / early-stop training.
-func Fig18(o Options) *Table {
+func Fig18(o Options, run *sweep.Runner) *Table {
 	tr := o.uplinks(1, 180)[0]
 	cfg := o.baseConfig(vidgen.Fortnite, 2)
 	cfg.Duration = 2 * o.duration()
@@ -105,7 +123,13 @@ func Fig18(o Options) *Table {
 	web := cfg
 	web.Trace = tr
 	web.Scheme = core.SchemeWebRTC
-	wr := core.Run(web)
+	hWeb := run.Go(web)
+	pols := []core.TrainPolicy{core.TrainAdaptive, core.TrainContinuous, core.TrainEarlyStop}
+	hs := make([]*sweep.Handle, len(pols))
+	for i, pol := range pols {
+		hs[i] = submitPolicy(run, cfg, tr, pol)
+	}
+	wr := wait(hWeb)
 
 	t := &Table{
 		ID:     "fig18",
@@ -132,9 +156,8 @@ func Fig18(o Options) *Table {
 		}
 		return out
 	}
-	for _, pol := range []core.TrainPolicy{core.TrainAdaptive, core.TrainContinuous, core.TrainEarlyStop} {
-		r := runPolicy(cfg, tr, pol)
-		m := intervalMeans(r)
+	for i, pol := range pols {
+		m := intervalMeans(wait(hs[i]))
 		t.Add(pol.String(), m[0], m[1], m[2])
 	}
 	t.Notes = "early-stop's gain should fall off in later intervals; adaptive tracks continuous"
@@ -143,7 +166,7 @@ func Fig18(o Options) *Table {
 
 // Fig19 reproduces Figure 19: content-adaptive vs one-time customization —
 // gain over stream time and the distribution of per-sample gains.
-func Fig19(o Options) []*Table {
+func Fig19(o Options, run *sweep.Runner) []*Table {
 	tr := o.uplinks(1, 190)[0]
 	cfg := o.baseConfig(vidgen.Fortnite, 2)
 	cfg.Duration = 2 * o.duration()
@@ -151,23 +174,25 @@ func Fig19(o Options) []*Table {
 	web := cfg
 	web.Trace = tr
 	web.Scheme = core.SchemeWebRTC
-	wr := core.Run(web)
+	hWeb := run.Go(web)
+
+	hs := map[string]*sweep.Handle{}
+	hs["continuous"] = submitPolicy(run, cfg, tr, core.TrainContinuous)
+	hs["content-adaptive"] = submitPolicy(run, cfg, tr, core.TrainAdaptive)
+	ot1 := cfg
+	ot1.OneTimeWindow = o.duration() / 6
+	hs["one-time(short)"] = submitPolicy(run, ot1, tr, core.TrainOneTime)
+	ot5 := cfg
+	ot5.OneTimeWindow = o.duration() / 2
+	hs["one-time(long)"] = submitPolicy(run, ot5, tr, core.TrainOneTime)
+
+	wr := wait(hWeb)
 	baseAt := func(i int) float64 {
 		if i >= len(wr.Samples) {
 			i = len(wr.Samples) - 1
 		}
 		return wr.Samples[i].PSNR
 	}
-
-	runs := map[string]*core.Results{}
-	runs["continuous"] = runPolicy(cfg, tr, core.TrainContinuous)
-	runs["content-adaptive"] = runPolicy(cfg, tr, core.TrainAdaptive)
-	ot1 := cfg
-	ot1.OneTimeWindow = o.duration() / 6
-	runs["one-time(short)"] = runPolicy(ot1, tr, core.TrainOneTime)
-	ot5 := cfg
-	ot5.OneTimeWindow = o.duration() / 2
-	runs["one-time(long)"] = runPolicy(ot5, tr, core.TrainOneTime)
 
 	order := []string{"continuous", "content-adaptive", "one-time(long)", "one-time(short)"}
 	t1 := &Table{
@@ -181,7 +206,7 @@ func Fig19(o Options) []*Table {
 		Header: []string{"scheme", "p25", "median", "p75", "mean"},
 	}
 	for _, name := range order {
-		r := runs[name]
+		r := wait(hs[name])
 		var quarters [4][]float64
 		var gains []float64
 		for i, s := range r.Samples {
@@ -223,7 +248,7 @@ func Fig22(o Options) *Table {
 
 // Fig23 reproduces Figure 23: sensitivity to the training-window (epoch)
 // length — DNN-gain prediction error and resulting quality.
-func Fig23(o Options) []*Table {
+func Fig23(o Options, run *sweep.Runner) []*Table {
 	tr := o.uplinks(1, 230)[0]
 	t1 := &Table{
 		ID:     "fig23a",
@@ -234,17 +259,22 @@ func Fig23(o Options) []*Table {
 		name string
 		len  time.Duration
 	}
+	points := []point{{"3s", 3 * time.Second}, {"5s", 5 * time.Second}, {"20s", 20 * time.Second}, {"40s", 40 * time.Second}}
 	base := o.baseConfig(vidgen.JustChatting, 2)
+	hs := make([]*sweep.Handle, len(points))
+	for i, p := range points {
+		cfg := base
+		cfg.EpochLen = p.len
+		cfg.Trace = tr
+		hs[i] = run.Go(cfg)
+	}
 	var rows []struct {
 		name string
 		err  float64
 		q    float64
 	}
-	for _, p := range []point{{"3s", 3 * time.Second}, {"5s", 5 * time.Second}, {"20s", 20 * time.Second}, {"40s", 40 * time.Second}} {
-		cfg := base
-		cfg.EpochLen = p.len
-		cfg.Trace = tr
-		r := core.Run(cfg)
+	for i, p := range points {
+		r := wait(hs[i])
 		// Prediction error: the scheduler predicts the next epoch's DNN
 		// quality step from the previous two; compare consecutive reported
 		// DNN-gain deltas. We approximate with the variability of the

@@ -79,7 +79,28 @@ func (s *Simulator) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 func (s *Simulator) RunUntil(t time.Duration) {
 	s.halt = false
-	for len(s.pq) > 0 && !s.halt && s.pq[0].at <= t {
+	for s.StepUntil(t, 0) {
+	}
+}
+
+// StepUntil executes up to budget events with timestamps <= t (budget <= 0
+// means unbounded) and reports whether eligible events remain. Callers use
+// it to interleave the event loop with external checks — context
+// cancellation, progress reporting — at event boundaries:
+//
+//	for s.StepUntil(d, 1024) {
+//		if ctx.Err() != nil { ... }
+//	}
+//
+// When it returns false (drained, past t, or stopped) the clock is advanced
+// to t exactly as RunUntil would, so a completed stepped run and RunUntil
+// are indistinguishable. Unlike RunUntil it does not clear a pending Stop:
+// a Stop halts the whole stepped run, not one slice of it.
+func (s *Simulator) StepUntil(t time.Duration, budget int) bool {
+	for n := 0; len(s.pq) > 0 && !s.halt && s.pq[0].at <= t; n++ {
+		if budget > 0 && n >= budget {
+			return true
+		}
 		e := heap.Pop(&s.pq).(event)
 		s.now = e.at
 		e.fn()
@@ -87,6 +108,7 @@ func (s *Simulator) RunUntil(t time.Duration) {
 	if !s.halt && t > s.now {
 		s.now = t
 	}
+	return false
 }
 
 // Pending reports the number of scheduled events.

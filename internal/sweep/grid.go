@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"livenas/internal/core"
+	"livenas/internal/trace"
+	"livenas/internal/vidgen"
+)
+
+// Grid declares a cartesian sweep over the independent axes the paper's
+// evaluation varies: system scheme, content category, network trace and
+// training policy. Base supplies every field the grid doesn't vary; a nil
+// or empty axis keeps Base's value for that field (it contributes a single
+// implicit point, not zero).
+type Grid struct {
+	Base     core.Config
+	Schemes  []core.Scheme
+	Contents []vidgen.Category
+	Traces   []*trace.Trace
+	Policies []core.TrainPolicy
+}
+
+// Point is one cell of a Grid: the axis values plus the fully assembled
+// session config.
+type Point struct {
+	Scheme  core.Scheme
+	Content vidgen.Category
+	Trace   *trace.Trace
+	Policy  core.TrainPolicy
+	Config  core.Config
+}
+
+// Size returns the number of points the grid expands to.
+func (g Grid) Size() int {
+	return dim(len(g.Schemes)) * dim(len(g.Contents)) * dim(len(g.Traces)) * dim(len(g.Policies))
+}
+
+func dim(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// Points expands the grid in a fixed deterministic order — schemes
+// outermost, then contents, traces, policies — so the same Grid always
+// yields the same point sequence (and therefore the same Collect order).
+func (g Grid) Points() []Point {
+	pts := make([]Point, 0, g.Size())
+	for _, sc := range orDefault(g.Schemes, g.Base.Scheme) {
+		for _, cat := range orDefault(g.Contents, g.Base.Cat) {
+			for _, tr := range orDefault(g.Traces, g.Base.Trace) {
+				for _, pol := range orDefault(g.Policies, g.Base.TrainPolicy) {
+					cfg := g.Base
+					cfg.Scheme, cfg.Cat, cfg.Trace, cfg.TrainPolicy = sc, cat, tr, pol
+					pts = append(pts, Point{Scheme: sc, Content: cat, Trace: tr, Policy: pol, Config: cfg})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func orDefault[T any](axis []T, base T) []T {
+	if len(axis) == 0 {
+		return []T{base}
+	}
+	return axis
+}
+
+// GoGrid submits every point of the grid and returns the handles in
+// Points order. Collect on the runner (or Wait per handle) harvests them.
+func (r *Runner) GoGrid(g Grid) []*Handle {
+	pts := g.Points()
+	hs := make([]*Handle, len(pts))
+	for i, p := range pts {
+		hs[i] = r.Go(p.Config)
+	}
+	return hs
+}

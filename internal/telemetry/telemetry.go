@@ -77,6 +77,26 @@ func New() *Registry {
 	return r
 }
 
+// GobEncode implements gob.GobEncoder. A Registry is live runtime state —
+// atomics, locks, an event ring, possibly a streaming sink — not a value,
+// so persisted copies deliberately carry no metrics: encoding emits
+// nothing. The hook exists so values holding a registry pointer (core.
+// Config, core.Results) stay gob-encodable, which the sweep engine relies
+// on for config hashing and the on-disk session-result cache.
+func (r *Registry) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode restores a decoded registry as a fresh enabled one (the state a
+// registry field would have been given at run time); any recorded metrics
+// were dropped at encode time by design.
+func (r *Registry) GobDecode([]byte) error {
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.evCap = DefaultEventCap
+	r.enabled.Store(true)
+	return nil
+}
+
 // SetEnabled flips the registry's master switch. Disabled handles cost one
 // atomic load per operation and record nothing.
 func (r *Registry) SetEnabled(on bool) {

@@ -20,8 +20,11 @@
 package livenas
 
 import (
+	"context"
+
 	"livenas/internal/core"
 	"livenas/internal/exp"
+	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
 )
@@ -83,8 +86,15 @@ var (
 	R4K   = trace.R4K
 )
 
-// Run executes one ingest session on the discrete-event simulator.
+// Run executes one ingest session on the discrete-event simulator. It
+// panics on an invalid config (Config.Validate's error); RunContext returns
+// the error instead.
 func Run(cfg Config) *Results { return core.Run(cfg) }
+
+// RunContext executes one ingest session under ctx. The config is validated
+// up front and cancellation is honoured at simulator-event boundaries, so a
+// long session aborts promptly without leaving goroutines behind.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) { return core.RunContext(ctx, cfg) }
 
 // FCCUplink synthesises an FCC-style broadband uplink trace.
 var FCCUplink = trace.FCCUplink
@@ -107,16 +117,43 @@ type (
 	ExpTable = exp.Table
 )
 
+// Sweep engine access: run many independent sessions across a bounded
+// worker set with deterministic results and an optional on-disk cache.
+type (
+	// SweepRunner executes submitted sessions concurrently.
+	SweepRunner = sweep.Runner
+	// SweepOptions configures a SweepRunner (workers, cache, telemetry).
+	SweepOptions = sweep.Options
+	// SweepGrid declares a cartesian sweep over schemes/contents/traces/policies.
+	SweepGrid = sweep.Grid
+	// SweepCache is the content-addressed session-result store.
+	SweepCache = sweep.Cache
+)
+
+// NewSweepRunner returns a session sweep engine bound to ctx.
+func NewSweepRunner(ctx context.Context, o SweepOptions) *SweepRunner { return sweep.New(ctx, o) }
+
+// OpenSweepCache opens (creating if needed) an on-disk session cache.
+func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.Open(dir) }
+
 // Experiments lists every reproducible table and figure id.
 func Experiments() []string { return exp.IDs() }
 
-// RunExperiment regenerates one paper table/figure by id.
-func RunExperiment(id string, o ExpOptions) ([]*ExpTable, error) {
+// RunExperiment regenerates one paper table/figure by id, running its
+// sessions on a private sweep runner bound to ctx.
+func RunExperiment(ctx context.Context, id string, o ExpOptions) ([]*ExpTable, error) {
+	return RunExperimentWith(ctx, id, o, nil)
+}
+
+// RunExperimentWith is RunExperiment with an explicit sweep runner, letting
+// callers share one cache/worker pool (and its telemetry) across
+// experiments. A nil runner gets a private one.
+func RunExperimentWith(ctx context.Context, id string, o ExpOptions, r *SweepRunner) ([]*ExpTable, error) {
 	e, err := exp.Find(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(o), nil
+	return e.Run(ctx, o, r), nil
 }
 
 // DefaultExpOptions returns the fast harness configuration.

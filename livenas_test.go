@@ -1,6 +1,7 @@
 package livenas
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -35,11 +36,11 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if len(ids) < 25 {
 		t.Fatalf("registry too small: %d", len(ids))
 	}
-	if _, err := RunExperiment("no-such-figure", DefaultExpOptions()); err == nil {
+	if _, err := RunExperiment(context.Background(), "no-such-figure", DefaultExpOptions()); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 	o := DefaultExpOptions()
-	tables, err := RunExperiment("table2", o)
+	tables, err := RunExperiment(context.Background(), "table2", o)
 	if err != nil || len(tables) != 1 || len(tables[0].Rows) == 0 {
 		t.Fatalf("table2: %v / %v", tables, err)
 	}

@@ -7,12 +7,15 @@
 # ratios. The JSON is committed so the perf trajectory is reviewable
 # across PRs.
 #
-#   scripts/bench.sh            full run, writes BENCH_kernels.json
+#   scripts/bench.sh            full run, writes BENCH_kernels.json and the
+#                               sweep-engine serial-vs-parallel record
+#                               BENCH_sweep.json (cmd/livenas-bench
+#                               -sweepbench; gated by bench-compare -sweep)
 #   scripts/bench.sh -short     few-iteration smoke run (CI gate): exercises
-#                               every bench and the JSON emitter, writes
-#                               to a temp file so the tracked baseline
-#                               keeps full-run numbers
-#   scripts/bench.sh -o FILE    write the JSON elsewhere
+#                               every kernel bench and the JSON emitter,
+#                               writes to a temp file so the tracked baseline
+#                               keeps full-run numbers; skips the sweep record
+#   scripts/bench.sh -o FILE    write the kernel JSON elsewhere
 #
 # allocs_reduction uses the sentinel 999999 when the kernel variant
 # allocates nothing per op (the reduction is infinite).
@@ -120,3 +123,8 @@ END {
 
 echo "== wrote $OUT" >&2
 cat "$OUT"
+
+if [[ "$SHORT" == 0 ]]; then
+    echo "== bench: sweep engine serial vs parallel" >&2
+    go run ./cmd/livenas-bench -sweepbench BENCH_sweep.json
+fi

@@ -4,12 +4,15 @@
 #
 #   scripts/ci.sh fast    blocking tier: build, gofmt, go vet, livenas-vet
 #                         (baseline-gated via analysis/baseline.json),
-#                         short tests
-#   scripts/ci.sh full    merge tier: full tests, race tier, fuzz smoke
-#                         (FUZZTIME, default 10s, 0 skips), kernel-bench
-#                         regression gate vs BENCH_kernels.json
-#                         (cmd/bench-compare, BENCH_NOISE overrides the 15%
-#                         threshold), telemetry run-summary validation
+#                         short tests, parallel sweep smoke (one small
+#                         figure sweep at -parallel 4)
+#   scripts/ci.sh full    merge tier: full tests, race tier (includes
+#                         internal/sweep), fuzz smoke (FUZZTIME, default
+#                         10s, 0 skips), kernel-bench regression gate vs
+#                         BENCH_kernels.json (cmd/bench-compare, BENCH_NOISE
+#                         overrides the 15% threshold), sweep-speedup gate
+#                         vs BENCH_sweep.json, telemetry run-summary
+#                         validation
 #
 # Each step is timed; the table goes to stdout and, when running under
 # GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY).
@@ -84,16 +87,20 @@ if [[ "$TIER" == "fast" ]]; then
     step "go vet" go vet ./...
     step "livenas-vet" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test -short" go test -short ./...
+    # One real figure sweep through the concurrent engine: catches worker /
+    # cache / ordering regressions the unit tests can't see end to end.
+    step "sweep smoke" go run ./cmd/livenas-bench -fig fig23 -parallel 4 -dur 20s -traces 1
 else
     FUZZTIME="${FUZZTIME:-10s}"
     step "go build" go build ./...
     step "go test" go test ./...
-    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep
     if [[ "$FUZZTIME" != "0" ]]; then
         step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
         step "fuzz codec ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec
     fi
     step "bench gate" go run ./cmd/bench-compare
+    step "sweep gate" go run ./cmd/bench-compare -sweep
     step "summary gate" summary_gate
 fi
 
