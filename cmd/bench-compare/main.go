@@ -20,6 +20,8 @@
 //	bench-compare -summary run.json       # instead: validate a telemetry run-summary file
 //	bench-compare -sweep                  # instead: gate the sweep-engine parallel speedup
 //	                                      # (livenas-bench -sweepbench) vs BENCH_sweep.json
+//	bench-compare -vet                    # instead: gate the vet engine's warm-cache
+//	                                      # speedup (livenas-vet -bench) vs BENCH_vet.json
 package main
 
 import (
@@ -70,6 +72,9 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "gate the sweep-engine parallel speedup instead of the kernel benches")
 		sweepBase = flag.String("sweep-baseline", "BENCH_sweep.json", "committed sweep-speedup baseline JSON")
 		sweepCur  = flag.String("sweep-current", "", "pre-recorded sweepbench JSON to compare (default: run cmd/livenas-bench -sweepbench)")
+		vet       = flag.Bool("vet", false, "gate the vet engine's warm-cache speedup instead of the kernel benches")
+		vetBase   = flag.String("vet-baseline", "BENCH_vet.json", "committed vet-engine baseline JSON")
+		vetCur    = flag.String("vet-current", "", "pre-recorded livenas-vet -bench JSON to compare (default: run one)")
 	)
 	flag.Parse()
 
@@ -84,6 +89,14 @@ func main() {
 	if *sweep {
 		if err := sweepGate(*sweepBase, *sweepCur, *threshold, *retries); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-compare: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *vet {
+		if err := vetGate(*vetBase, *vetCur, *threshold, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: vet: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -291,6 +304,112 @@ func sweepGate(basePath, curPath string, threshold float64, retries int) error {
 		cur.Sessions, cur.Workers, cur.SerialS, cur.ParallS, cur.Speedup, base.Speedup, want)
 	if cur.Speedup < want {
 		return fmt.Errorf("parallel sweep speedup x%.2f below floor x%.2f", cur.Speedup, want)
+	}
+	return nil
+}
+
+// vetRecord mirrors cmd/livenas-vet's -bench JSON (BENCH_vet.json).
+type vetRecord struct {
+	Schema          int     `json:"schema"`
+	Cores           int     `json:"cores"`
+	Jobs            int     `json:"jobs"`
+	Packages        int     `json:"packages"`
+	ColdJ1S         float64 `json:"cold_j1_s"`
+	ColdJNS         float64 `json:"cold_jn_s"`
+	WarmS           float64 `json:"warm_s"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+func readVetRecord(path string) (*vetRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r vetRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Packages <= 0 || r.ColdJNS <= 0 || r.WarmS <= 0 || r.WarmSpeedup <= 0 {
+		return nil, fmt.Errorf("%s: non-positive vet figures: %+v", path, r)
+	}
+	return &r, nil
+}
+
+// currentVet loads path, or records a fresh livenas-vet -bench run when
+// empty.
+func currentVet(path string) (*vetRecord, error) {
+	if path != "" {
+		return readVetRecord(path)
+	}
+	tmp, err := os.CreateTemp("", "vet_current_*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	cmd := exec.Command("go", "run", "./cmd/livenas-vet", "-bench", tmp.Name(), "./...")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("livenas-vet -bench: %w", err)
+	}
+	return readVetRecord(tmp.Name())
+}
+
+// vetWarmFloor is the hard requirement on the incremental engine: a fully
+// warm facts-cache run must be at least this much faster than a cold run.
+// Unlike the other gates it is absolute, not baseline-relative — the cache
+// either removes the load/type-check/analyze cost or it is broken — and it
+// holds on a single core, where the parallel dimension is unmeasurable.
+const vetWarmFloor = 2.0
+
+// vetGate enforces the incremental-vet contract: warm-cache runs at least
+// vetWarmFloor times faster than cold, and (on multi-core hosts) the
+// parallel speedup within threshold of the committed baseline, capped at
+// the cores available here.
+func vetGate(basePath, curPath string, threshold float64, retries int) error {
+	base, err := readVetRecord(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cores := runtime.NumCPU()
+	parallelWant := 0.0
+	if cores >= 2 {
+		parallelWant = base.ParallelSpeedup
+		if lim := float64(cores); parallelWant > lim {
+			parallelWant = lim
+		}
+		parallelWant *= 1 - threshold
+	}
+	ok := func(r *vetRecord) bool {
+		return r.WarmSpeedup >= vetWarmFloor && r.ParallelSpeedup >= parallelWant
+	}
+	cur, err := currentVet(curPath)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; !ok(cur) && attempt < retries && curPath == ""; attempt++ {
+		fmt.Printf("vet gate: warm x%.1f / parallel x%.2f below floors, retrying (wall-clock runs are noisy)\n",
+			cur.WarmSpeedup, cur.ParallelSpeedup)
+		again, err := currentVet("")
+		if err != nil {
+			return fmt.Errorf("retry: %w", err)
+		}
+		if again.WarmSpeedup > cur.WarmSpeedup {
+			cur = again
+		}
+	}
+	parallelNote := fmt.Sprintf("parallel x%.2f (floor x%.2f)", cur.ParallelSpeedup, parallelWant)
+	if cores < 2 {
+		parallelNote = "single-core host, parallel dimension skipped"
+	}
+	fmt.Printf("vet gate: %d packages: cold %.2fs -> warm %.3fs = x%.1f (floor x%.1f); %s\n",
+		cur.Packages, cur.ColdJNS, cur.WarmS, cur.WarmSpeedup, vetWarmFloor, parallelNote)
+	if cur.WarmSpeedup < vetWarmFloor {
+		return fmt.Errorf("warm-cache speedup x%.1f below floor x%.1f", cur.WarmSpeedup, vetWarmFloor)
+	}
+	if cur.ParallelSpeedup < parallelWant {
+		return fmt.Errorf("parallel speedup x%.2f below floor x%.2f (baseline x%.2f)", cur.ParallelSpeedup, parallelWant, base.ParallelSpeedup)
 	}
 	return nil
 }

@@ -102,7 +102,7 @@ func main() {
 // runOne runs one experiment on a fresh sweep runner (so per-sweep stats
 // are per-experiment; the cache is shared across experiments).
 //
-//livenas:allow determinism wall-clock timing report only; never feeds results
+//livenas:allow determinism-taint wall-clock timing report only; never feeds results
 func runOne(ctx context.Context, e exp.Experiment, o exp.Options, workers int, cache *sweep.Cache, timings bool) {
 	start := time.Now()
 	r := sweep.New(ctx, sweep.Options{Workers: workers, Cache: cache})
@@ -145,7 +145,7 @@ type sweepBenchRecord struct {
 // runSweepBench times exp.SweepBenchGrid with one worker and with the full
 // worker set, then writes the record to path.
 //
-//livenas:allow determinism wall-clock benchmark record; never feeds results
+//livenas:allow determinism-taint wall-clock benchmark record; never feeds results
 func runSweepBench(ctx context.Context, path string, o exp.Options, workers int) error {
 	grid := exp.SweepBenchGrid(o)
 	run := func(w int) (time.Duration, sweep.Stats, error) {

@@ -75,7 +75,7 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 
 	frameGap := time.Duration(float64(time.Second) / *fps)
-	start := time.Now() //livenas:allow determinism real-time pacing is the point of the live client
+	start := time.Now() //livenas:allow determinism-taint real-time pacing is the point of the live client
 	frameID := 0
 	ticker := time.NewTicker(frameGap)
 	defer ticker.Stop()
@@ -120,6 +120,6 @@ func main() {
 	if err := wire.Write(conn, &wire.Message{Type: wire.MsgBye}); err != nil {
 		log.Printf("bye: %v", err)
 	}
-	log.Printf("streamed %d frames over %v", //livenas:allow determinism real-time client reports wall-clock duration
+	log.Printf("streamed %d frames over %v", //livenas:allow determinism-taint real-time client reports wall-clock duration
 		frameID, time.Since(start).Truncate(time.Millisecond))
 }

@@ -116,9 +116,9 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 	proc.SetTelemetry(reg)
 	// The real server timestamps its telemetry events with session-relative
 	// wall-clock time (there is no simulated clock here).
-	start := time.Now() //livenas:allow determinism real server stamps telemetry with wall-clock session time
+	start := time.Now() //livenas:allow determinism-taint real server stamps telemetry with wall-clock session time
 	elapsed := func() time.Duration {
-		return time.Since(start) //livenas:allow determinism ditto
+		return time.Since(start) //livenas:allow determinism-taint ditto
 	}
 
 	type patchPair struct{ lr, hr *frame.Frame }

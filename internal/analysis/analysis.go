@@ -5,9 +5,12 @@
 // go/types): it loads the whole module from source, type-checks it with a
 // recursive source importer, and runs a registry of checks that machine-
 // enforce the two invariants LiveNAS's correctness hangs on — deterministic
-// replay (no wall clock, no global rand in simulation/training code) and
-// safe sharing of the SR model between the trainer and the inference
-// processor — plus a handful of project-wide hygiene rules (discarded wire
+// replay (a whole-module taint analysis from nondeterministic sources:
+// wall clock, global rand, map iteration order, goroutine-completion
+// order) and safe sharing of state between the trainer, the inference
+// processor, and the sweep workers (context-propagation to blocking
+// points, consistent sync/atomic access, arena lifetimes, goroutine
+// joins, lock ordering) — plus project-wide hygiene rules (discarded wire
 // write errors, lock/defer pairing, exhaustive message switches, float
 // precision churn in hot kernels). See DESIGN.md "Correctness tooling".
 //
@@ -45,19 +48,27 @@ func (d Diagnostic) String() string {
 // set: Run inspects a single type-checked package; RunModule sees the whole
 // module at once through the call-graph/CFG/summary substrate (callgraph.go,
 // cfg.go, dataflow.go, summary.go) and is how the interprocedural checks —
-// arena-lifetime, goroutine-leak, lock-order — are built.
+// arena-lifetime, goroutine-leak, lock-order, determinism-taint,
+// context-propagation, atomic-consistency — are built.
+//
+// Global marks a RunModule check whose findings in one package can change
+// when ANY other package changes (lock-order's cross-package cycles,
+// context-propagation's stored-never-consulted scan, atomic-consistency's
+// module-wide access mix). The incremental driver (driver.go) caches
+// non-global module checks per package under that package's dependency
+// closure key, but must key global checks on the whole target set.
 type Check struct {
 	Name      string
 	Doc       string
 	Run       func(*Pass)
 	RunModule func(*ModulePass)
+	Global    bool
 }
 
 // AllChecks returns the full registry in stable order.
 func AllChecks() []*Check {
 	return []*Check{
 		UncheckedWrite,
-		Determinism,
 		MutexHygiene,
 		SwitchExhaustiveness,
 		HotLoopPrecision,
@@ -65,6 +76,9 @@ func AllChecks() []*Check {
 		ArenaLifetime,
 		GoroutineLeak,
 		LockOrder,
+		DeterminismTaint,
+		ContextPropagation,
+		AtomicConsistency,
 	}
 }
 
@@ -208,7 +222,10 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

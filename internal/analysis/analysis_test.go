@@ -20,7 +20,6 @@ var fixtureChecks = []struct {
 	check string
 }{
 	{"uncheckedwrite", "unchecked-write"},
-	{"determinism", "determinism"},
 	{"mutexhygiene", "mutex-hygiene"},
 	{"exhaustive", "switch-exhaustiveness"},
 	{"hotloop", "hot-loop-precision"},
@@ -28,6 +27,9 @@ var fixtureChecks = []struct {
 	{"arenalifetime", "arena-lifetime"},
 	{"goroutineleak", "goroutine-leak"},
 	{"lockorder", "lock-order"},
+	{"determtaint", "determinism-taint"},
+	{"ctxprop", "context-propagation"},
+	{"atomicmix", "atomic-consistency"},
 }
 
 func loadFixture(t *testing.T, dir string) []*Package {

@@ -1,0 +1,576 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DeterminismTaint is the whole-module successor of the old syntactic
+// determinism check: instead of flagging only direct wall-clock / global-rand
+// calls inside the replay-critical packages, it computes a per-function
+// purity fact (FuncSummary.Nondet, propagated bottom-up through the call
+// graph) and reports every point where nondeterminism enters the
+// deterministic-replay scope — directly, or laundered through a helper in an
+// unscoped package.
+//
+// Modeled sources:
+//
+//   - wall clock: time.Now / time.Since / time.Until
+//   - global rand: any math/rand or math/rand/v2 top-level function except
+//     the explicit constructors (New, NewSource, …)
+//   - map iteration order: a range over a map whose body is order-sensitive
+//     (appends to a slice, accumulates floats or strings with a compound
+//     assignment, sends on a channel, or returns a value derived from the
+//     range variables)
+//   - sync.Map.Range order: same order-sensitivity test on the callback
+//   - goroutine completion order: a go-literal that appends to or
+//     float-accumulates into state captured from the launching function, or
+//     a channel receive folded order-sensitively (appended / accumulated)
+//
+// Order-insensitive map loops — counting, keyed writes into another map,
+// indexed slice writes, commutative integer accumulation — are deliberately
+// not flagged; that is the sanctioned way to consume a map in replay code.
+var DeterminismTaint = &Check{
+	Name: "determinism-taint",
+	Doc: "nondeterminism (wall clock, global rand, map/sync.Map iteration " +
+		"order, goroutine completion order) reaches deterministic-replay " +
+		"code, directly or through a tainted callee; inject a seeded " +
+		"*rand.Rand / simulated clock, sort before iterating, or annotate " +
+		"a site that provably never feeds results with " +
+		"//livenas:allow determinism-taint",
+	RunModule: runDeterminismTaint,
+}
+
+// determinismScope names the path segments of packages that must replay
+// deterministically (plus cmd, where wall clock needs explicit opt-in).
+var determinismScope = []string{"sim", "exp", "netem", "core", "sr", "sweep", "cmd"}
+
+// wallClockFuncs are the time package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand top-level functions that build an
+// explicitly seeded generator rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// A nondetSite is one place nondeterminism enters a function.
+type nondetSite struct {
+	pos  token.Pos
+	desc string // stable root-source description ("time.Now", "map iteration order", …)
+	msg  string // full diagnostic text; empty for propagated-only summary entries
+}
+
+// determSummarize contributes the purity fact: every nondeterministic source
+// fi may observe, directly or through a module callee. Monotone: the Nondet
+// map only grows, and propagated entries reuse the callee's stable source
+// descriptions so recursion converges.
+func determSummarize(fi *FuncInfo, s *Summaries, sum *FuncSummary) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	changed := false
+	for _, site := range directNondetSites(fi) {
+		if _, ok := sum.Nondet[site.desc]; !ok {
+			sum.Nondet[site.desc] = site.pos
+			changed = true
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(fi.Pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		if csum := s.Of(callee); csum != nil {
+			for desc := range csum.Nondet {
+				if _, ok := sum.Nondet[desc]; !ok {
+					sum.Nondet[desc] = call.Pos()
+					changed = true
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// directNondetSites finds the nondeterministic sources fi itself contains
+// (function literals included: they run within fi's dynamic extent for every
+// pattern the check cares about).
+func directNondetSites(fi *FuncInfo) []nondetSite {
+	info := fi.Pkg.Info
+	var out []nondetSite
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			fn, ok := info.Uses[e].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods (e.g. (*rand.Rand).Intn on an injected source)
+				// are exactly what this check steers code toward.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					out = append(out, nondetSite{
+						pos:  e.Pos(),
+						desc: "time." + fn.Name(),
+						msg:  "time." + fn.Name() + " reads the wall clock; deterministic-replay code must use the injected simulated clock",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					out = append(out, nondetSite{
+						pos:  e.Pos(),
+						desc: fn.Pkg().Name() + "." + fn.Name(),
+						msg:  fn.Pkg().Name() + "." + fn.Name() + " draws from the global rand source; use an injected seeded *rand.Rand",
+					})
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					why := orderSensitiveBody(info, e.Body, rangeVarObjs(info, e))
+					if why == "appends to a slice" && collectThenSorted(info, fi.Decl.Body, e) {
+						// The canonical fix itself: collect the keys, then
+						// sort them. The append order is nondeterministic but
+						// the sort erases it.
+						why = ""
+					}
+					if why != "" {
+						out = append(out, nondetSite{
+							pos:  e.Pos(),
+							desc: "map iteration order",
+							msg:  "map iteration order is nondeterministic and this loop is order-sensitive (" + why + "); sort the keys first or restructure the fold to be commutative",
+						})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			out = append(out, syncMapRangeSite(info, e)...)
+		case *ast.GoStmt:
+			out = append(out, goCompletionSites(info, e)...)
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdentObj resolves the leftmost identifier of an lvalue-ish expression
+// (x, x.f.g, x[i], *x) to its object, or nil.
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the builtin append (go/types
+// records builtins in Uses as *types.Builtin; a user-defined append shadows
+// the builtin and resolves to an ordinary object).
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rangeVarObjs returns the objects bound by a range statement's key/value.
+func rangeVarObjs(info *types.Info, r *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				objs[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				objs[obj] = true
+			}
+		}
+	}
+	return objs
+}
+
+// orderSensitiveBody reports why a loop body observed in nondeterministic
+// order produces nondeterministic results, or "" when the body looks
+// order-insensitive (keyed writes, commutative integer folds, deletes). The
+// heuristic is deliberately coarse: appends, float/string compound
+// accumulation, channel sends, and returns of range-derived values are the
+// order-sensitive patterns replay bugs have actually come from. Folds whose
+// target is declared inside the body are exempt: per-iteration state is
+// reset every pass, so iteration order cannot leak through it.
+func orderSensitiveBody(info *types.Info, body *ast.BlockStmt, loopVars map[types.Object]bool) string {
+	perIteration := func(e ast.Expr) bool {
+		obj := baseIdentObj(info, e)
+		return obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End()
+	}
+	why := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, e) && len(e.Args) > 0 && !perIteration(e.Args[0]) {
+				// The element order of the result depends on iteration order.
+				why = "appends to a slice"
+			}
+		case *ast.AssignStmt:
+			switch e.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range e.Lhs {
+					t := info.TypeOf(lhs)
+					if t == nil || perIteration(lhs) {
+						continue
+					}
+					switch b := t.Underlying().(type) {
+					case *types.Basic:
+						if b.Info()&types.IsFloat != 0 {
+							why = "float accumulation is not associative"
+						} else if b.Info()&types.IsString != 0 {
+							why = "string concatenation depends on order"
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			why = "sends on a channel in iteration order"
+		case *ast.ReturnStmt:
+			for _, res := range e.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+						why = "returns a value picked by iteration order"
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return why == ""
+	})
+	return why
+}
+
+// collectThenSorted recognizes the sanctioned collect-keys-then-sort idiom:
+// every slice appended to inside the range body is an identifier that is
+// later (after the loop) passed to a sort or slices package call in the
+// same function. The append order is nondeterministic, but sorting erases
+// it, so the loop as a whole is order-insensitive. The body must contain no
+// other order-sensitive pattern (the caller checks that the append was the
+// only reason found).
+func collectThenSorted(info *types.Info, fnBody *ast.BlockStmt, r *ast.RangeStmt) bool {
+	targets := map[types.Object]bool{}
+	simple := true
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) {
+			return true
+		}
+		// Find the assignment target: x = append(x, …) or m.f = append(m.f,
+		// …); matching is by the base identifier, so a sort of m.f (or of m's
+		// whole aggregate) after the loop clears a field-slice collect too.
+		obj := types.Object(nil)
+		if len(call.Args) > 0 {
+			obj = baseIdentObj(info, call.Args[0])
+		}
+		if obj == nil {
+			simple = false
+			return true
+		}
+		targets[obj] = true
+		return true
+	})
+	if !simple || len(targets) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pid, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := info.Uses[pid].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := baseIdentObj(info, arg); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// syncMapRangeSite flags sync.Map.Range calls whose callback is
+// order-sensitive (or not statically visible).
+func syncMapRangeSite(info *types.Info, call *ast.CallExpr) []nondetSite {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Map" {
+		return nil
+	}
+	if lit, ok := unparen(call.Args[0]).(*ast.FuncLit); ok {
+		litVars := map[types.Object]bool{}
+		if lit.Type.Params != nil {
+			for _, f := range lit.Type.Params.List {
+				for _, name := range f.Names {
+					if obj := info.Defs[name]; obj != nil {
+						litVars[obj] = true
+					}
+				}
+			}
+		}
+		why := orderSensitiveBody(info, lit.Body, litVars)
+		if why == "" {
+			return nil
+		}
+		return []nondetSite{{
+			pos:  call.Pos(),
+			desc: "sync.Map.Range order",
+			msg:  "sync.Map.Range visits entries in nondeterministic order and the callback is order-sensitive (" + why + "); snapshot and sort instead",
+		}}
+	}
+	return []nondetSite{{
+		pos:  call.Pos(),
+		desc: "sync.Map.Range order",
+		msg:  "sync.Map.Range visits entries in nondeterministic order and the callback is not statically visible; snapshot and sort instead",
+	}}
+}
+
+// goCompletionSites flags go-literals that fold into captured state in
+// completion order: appending to, or float/string-accumulating into, a
+// variable declared outside the literal (or a field — shared by definition).
+// Keyed or indexed writes (out[i] = …) stay unflagged: they are the
+// sanctioned fixed-slot pattern (see internal/nn's deterministic folds).
+func goCompletionSites(info *types.Info, g *ast.GoStmt) []nondetSite {
+	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	captured := func(e ast.Expr) bool {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				return false
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return true
+			}
+			return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+		case *ast.SelectorExpr:
+			// A field of anything: shared state as far as this check cares.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				return true
+			}
+		}
+		return false
+	}
+	var out []nondetSite
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			// x = append(x, …) with x captured.
+			for i, rhs := range as.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if isBuiltinAppend(info, call) {
+					if i < len(as.Lhs) && captured(as.Lhs[i]) {
+						out = append(out, nondetSite{
+							pos:  as.Pos(),
+							desc: "goroutine completion order",
+							msg:  "goroutine appends to captured state, so element order depends on goroutine completion order; write to a fixed index per goroutine and fold in order",
+						})
+					}
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				t := info.TypeOf(lhs)
+				if t == nil || !captured(lhs) {
+					continue
+				}
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsString) != 0 {
+					out = append(out, nondetSite{
+						pos:  as.Pos(),
+						desc: "goroutine completion order",
+						msg:  "goroutine accumulates into captured state, so the fold order depends on goroutine completion order; accumulate per-goroutine and fold in fixed order",
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// runDeterminismTaint reports where nondeterminism enters the
+// deterministic-replay scope: direct sources inside scoped packages, plus
+// call sites where a scoped function calls an unscoped module function whose
+// purity fact is tainted. Calls to scoped callees are not re-reported — the
+// callee's own body carries the finding.
+func runDeterminismTaint(p *ModulePass) {
+	nodes := make([]*FuncInfo, 0, len(p.Mod.Graph.Nodes))
+	for _, fi := range p.Mod.Graph.Nodes {
+		if hasSegment(fi.Pkg.Path, determinismScope...) && fi.Decl.Body != nil {
+			nodes = append(nodes, fi)
+		}
+	}
+	sortNodesByPos(nodes)
+	for _, fi := range nodes {
+		for _, site := range directNondetSites(fi) {
+			p.Reportf(site.pos, "%s", site.msg)
+		}
+		// Receives folded order-sensitively (needs parent context, so it is
+		// detected here rather than in directNondetSites' Unary hook).
+		reportRecvFolds(p, fi)
+		// Taint laundered through unscoped helpers.
+		info := fi.Pkg.Info
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			cfi := p.Mod.Graph.Funcs[callee]
+			if cfi == nil || hasSegment(cfi.Pkg.Path, determinismScope...) {
+				return true // unknown or scoped callee: reported at its own body
+			}
+			sum := p.Mod.Sums.Of(callee)
+			if sum == nil || len(sum.Nondet) == 0 {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"call to %s is nondeterministic: tainted by %s; deterministic-replay code must not depend on it",
+				callee.Name(), strings.Join(sortedNondetDescs(sum.Nondet), ", "))
+			return true
+		})
+	}
+}
+
+// reportRecvFolds flags `xs = append(xs, <-ch)` and `acc += <-ch` in scoped
+// functions: the fold observes goroutine completion order.
+func reportRecvFolds(p *ModulePass, fi *FuncInfo) {
+	info := fi.Pkg.Info
+	isRecv := func(e ast.Expr) bool {
+		u, ok := unparen(e).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW && isChanExpr(info, u.X)
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			for _, rhs := range as.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if isBuiltinAppend(info, call) {
+					for _, arg := range call.Args[1:] {
+						if isRecv(arg) {
+							p.Reportf(as.Pos(),
+								"appending a channel receive folds values in goroutine completion order; receive into fixed slots or sort before use")
+						}
+					}
+				}
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, rhs := range as.Rhs {
+				if !isRecv(rhs) {
+					continue
+				}
+				for _, lhs := range as.Lhs {
+					t := info.TypeOf(lhs)
+					if t == nil {
+						continue
+					}
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsString) != 0 {
+						p.Reportf(as.Pos(),
+							"accumulating channel receives folds values in goroutine completion order; collect into fixed slots and fold in order")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func sortedNondetDescs(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the incremental, parallel vet engine. The flow:
+//
+//  1. Index the module (fingerprint.go): content hashes + import DAG,
+//     no type-checking.
+//  2. Probe the facts cache (factscache.go): each target package's
+//     findings are cached under its dependency-closure key; the Global
+//     checks' findings are cached under one key covering every target.
+//  3. Load and type-check ONLY the dependency closure of what missed.
+//     A fully-warm run loads nothing at all.
+//  4. Run per-package checks (one task per dirty package) and module
+//     checks (one task per check) on a bounded worker pool.
+//  5. Merge cached and fresh findings in a fixed order and sort with a
+//     total comparator, so output is byte-identical for any -j.
+//
+// Caching semantics follow the Check.Global split: a non-global check's
+// findings in package P depend only on P's dependency closure (per-package
+// checks trivially; callee-direction interprocedural checks because facts
+// flow bottom-up through summaries), so they are safe to reuse while P's
+// closure is unchanged. Global checks re-run whenever anything in the
+// target set changes.
+//
+// Driver runs attribute module-check findings to the package that owns the
+// file they land in, and only report findings inside the target set — the
+// substrate may include out-of-pattern dependency packages, but those are
+// context, not targets.
+
+// DriverOptions configures one RunDriver invocation.
+type DriverOptions struct {
+	// Checks to run; nil means AllChecks().
+	Checks []*Check
+	// Patterns filters target packages ("./...", "./internal/...",
+	// "./cmd/livenas-vet"); nil means the whole module.
+	Patterns []string
+	// Jobs bounds check-level parallelism; <=0 means GOMAXPROCS.
+	Jobs int
+	// CacheDir roots the on-disk facts cache; "" disables caching.
+	CacheDir string
+}
+
+// DriverStats describes what one run actually did.
+type DriverStats struct {
+	// Targets is the number of packages matched by the patterns.
+	Targets int
+	// Loaded is how many packages were parsed and type-checked (0 on a
+	// fully-warm run).
+	Loaded int
+	// Analyzed and Reused partition the targets into freshly analyzed and
+	// served-from-cache, in sorted order.
+	Analyzed []string
+	Reused   []string
+	// GlobalRan / GlobalReused report how the Global checks were satisfied
+	// (both false when no global check was selected).
+	GlobalRan    bool
+	GlobalReused bool
+}
+
+// DriverResult is the outcome of one RunDriver invocation.
+type DriverResult struct {
+	// Diags is sorted by file, line, column, check, then message.
+	Diags []Diagnostic
+	// Warnings carries soft type-check errors from loaded packages.
+	Warnings []string
+	Stats    DriverStats
+}
+
+// RunDriver analyzes the module rooted at root with incremental caching
+// and bounded parallelism. It is a superset of Run: with caching off and
+// one job it produces the same findings for the same target set.
+func RunDriver(root, modPath string, opts DriverOptions) (*DriverResult, error) {
+	checks := opts.Checks
+	if checks == nil {
+		checks = AllChecks()
+	}
+	var pkgChecks, modCacheable, globalChecks []*Check
+	for _, c := range checks {
+		switch {
+		case c.Run != nil:
+			pkgChecks = append(pkgChecks, c)
+		case c.Global:
+			globalChecks = append(globalChecks, c)
+		default:
+			modCacheable = append(modCacheable, c)
+		}
+	}
+
+	idx, err := indexModule(root, modPath, "")
+	if err != nil {
+		return nil, err
+	}
+	idx.salt = driverSalt(idx, modPath, pkgChecks, modCacheable)
+
+	targets := idx.MatchPatterns(opts.Patterns)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", opts.Patterns)
+	}
+
+	cache, err := OpenFactsCache(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DriverResult{Stats: DriverStats{Targets: len(targets)}}
+
+	// Probe the per-package cache.
+	keys := map[string]string{}
+	perPkg := map[string][]Diagnostic{}
+	var dirty []string
+	for _, ip := range targets {
+		k, err := idx.ClosureKey(ip)
+		if err != nil {
+			return nil, err
+		}
+		keys[ip] = k
+		if jds, ok := cache.Get(k); ok {
+			perPkg[ip] = fromJSONDiags(jds, root)
+			res.Stats.Reused = append(res.Stats.Reused, ip)
+			continue
+		}
+		dirty = append(dirty, ip)
+		res.Stats.Analyzed = append(res.Stats.Analyzed, ip)
+	}
+
+	// Probe the global cache.
+	var globalDiags []Diagnostic
+	globalKey := ""
+	globalMiss := false
+	if len(globalChecks) > 0 {
+		names := checkNames(globalChecks)
+		globalKey, err = idx.GlobalKey("global-checks:"+strings.Join(names, ","), targets)
+		if err != nil {
+			return nil, err
+		}
+		if jds, ok := cache.Get(globalKey); ok {
+			globalDiags = fromJSONDiags(jds, root)
+			res.Stats.GlobalReused = true
+		} else {
+			globalMiss = true
+		}
+	}
+
+	// Load exactly what the misses require.
+	if len(dirty) > 0 || globalMiss {
+		toLoad := dirty
+		if globalMiss {
+			toLoad = targets
+		}
+		loader := NewLoader(token.NewFileSet(), root, modPath)
+		pkgs, err := loader.LoadPackages(toLoad)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Loaded = len(pkgs)
+		byPath := map[string]*Package{}
+		for _, p := range pkgs {
+			byPath[p.Path] = p
+			for _, e := range p.TypeErrors {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("%s: %v", p.Path, e))
+			}
+		}
+
+		fresh, globals, err := analyzeParallel(pkgs, dirty, byPath, pkgChecks, modCacheable, globalChecks, globalMiss, opts.Jobs)
+		if err != nil {
+			return nil, err
+		}
+		targetSet := map[string]bool{}
+		for _, ip := range targets {
+			targetSet[ip] = true
+		}
+		for _, ip := range dirty {
+			diags := fresh[ip]
+			sortDiags(diags)
+			perPkg[ip] = diags
+			if err := cache.Put(keys[ip], ip, toJSONDiags(diags, root)); err != nil {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("facts cache: %v", err))
+			}
+		}
+		if globalMiss {
+			globalDiags = globals[:0]
+			for _, d := range globals {
+				if targetSet[d.PkgPath] {
+					globalDiags = append(globalDiags, d)
+				}
+			}
+			sortDiags(globalDiags)
+			res.Stats.GlobalRan = true
+			if err := cache.Put(globalKey, "", toJSONDiags(globalDiags, root)); err != nil {
+				res.Warnings = append(res.Warnings, fmt.Sprintf("facts cache: %v", err))
+			}
+		}
+	}
+
+	// Merge in fixed order; the final sort makes output independent of
+	// which findings came from cache and which were fresh.
+	for _, ip := range targets {
+		res.Diags = append(res.Diags, perPkg[ip]...)
+	}
+	res.Diags = append(res.Diags, globalDiags...)
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// driverSalt builds the cache-key salt: facts schema, Go version, the
+// sorted names of every cacheable check selected — and, when the analyzer
+// is pointed at its own repository, the content hash of its own package,
+// so editing a check invalidates the cache without a schema bump.
+func driverSalt(idx *moduleIndex, modPath string, pkgChecks, modCacheable []*Check) string {
+	names := append(checkNames(pkgChecks), checkNames(modCacheable)...)
+	sort.Strings(names)
+	salt := fmt.Sprintf("facts/v%d|%s|checks:%s", factsSchema, runtime.Version(), strings.Join(names, ","))
+	if self := idx.Pkgs[modPath+"/internal/analysis"]; self != nil {
+		salt += "|analyzer:" + self.hash
+	}
+	return salt
+}
+
+func checkNames(checks []*Check) []string {
+	names := make([]string, 0, len(checks))
+	for _, c := range checks {
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// analyzeParallel runs the selected checks over the loaded packages on a
+// worker pool. Each task owns a private diagnostics slice, so no locking
+// happens on the hot path and the merge order is fixed by task index, not
+// completion order. Returns per-dirty-package findings (per-package checks
+// plus non-global module checks, attributed by owning package) and the raw
+// global-check findings.
+func analyzeParallel(pkgs []*Package, dirty []string, byPath map[string]*Package, pkgChecks, modCacheable, globalChecks []*Check, runGlobal bool, jobs int) (map[string][]Diagnostic, []Diagnostic, error) {
+	type task struct {
+		run   func() []Diagnostic
+		diags []Diagnostic
+	}
+	var tasks []*task
+
+	// One task per dirty package: all per-package checks on that package.
+	for _, ip := range dirty {
+		pkg := byPath[ip]
+		if pkg == nil {
+			return nil, nil, fmt.Errorf("analysis: target %s was not loaded", ip)
+		}
+		tasks = append(tasks, &task{run: func() []Diagnostic {
+			var out []Diagnostic
+			supp := collectSuppressions(pkg.Fset, pkg.Files)
+			for _, c := range pkgChecks {
+				c.Run(&Pass{Check: c, Fset: pkg.Fset, Pkg: pkg, supp: supp, diags: &out})
+			}
+			return out
+		}})
+	}
+	nPkgTasks := len(tasks)
+
+	// Module checks share one substrate (call graph + summaries), built
+	// serially before the pool starts; the checks themselves only read it.
+	var modTasks []*task
+	needModule := len(dirty) > 0 && len(modCacheable) > 0 || runGlobal && len(globalChecks) > 0
+	if needModule {
+		mod := NewModule(pkgs)
+		var allFiles []*ast.File
+		for _, pkg := range pkgs {
+			allFiles = append(allFiles, pkg.Files...)
+		}
+		supp := collectSuppressions(mod.Fset, allFiles)
+		var modChecks []*Check
+		if len(dirty) > 0 {
+			modChecks = append(modChecks, modCacheable...)
+		}
+		if runGlobal {
+			modChecks = append(modChecks, globalChecks...)
+		}
+		for _, c := range modChecks {
+			tasks = append(tasks, &task{run: func() []Diagnostic {
+				var out []Diagnostic
+				c.RunModule(&ModulePass{Check: c, Mod: mod, supp: supp, diags: &out})
+				return out
+			}})
+		}
+		modTasks = tasks[nPkgTasks:]
+	}
+
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(tasks) {
+		jobs = len(tasks)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *task)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				t.diags = t.run()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+
+	dirtySet := map[string]bool{}
+	fresh := map[string][]Diagnostic{}
+	for _, ip := range dirty {
+		dirtySet[ip] = true
+		fresh[ip] = []Diagnostic{}
+	}
+	for _, t := range tasks[:nPkgTasks] {
+		for _, d := range t.diags {
+			fresh[d.PkgPath] = append(fresh[d.PkgPath], d)
+		}
+	}
+	var globals []Diagnostic
+	globalNames := map[string]bool{}
+	for _, c := range globalChecks {
+		globalNames[c.Name] = true
+	}
+	for _, t := range modTasks {
+		for _, d := range t.diags {
+			if globalNames[d.Check] {
+				globals = append(globals, d)
+				continue
+			}
+			// Non-global module checks: keep only findings attributed to a
+			// dirty target; findings in clean targets are already cached and
+			// findings in non-target dependency packages are out of scope.
+			if dirtySet[d.PkgPath] {
+				fresh[d.PkgPath] = append(fresh[d.PkgPath], d)
+			}
+		}
+	}
+	return fresh, globals, nil
+}
+
+// sortDiags orders diagnostics with a total comparator (file, line, column,
+// check, message) so equal finding sets always render identically.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// toJSONDiags converts findings to their stable wire form (root-relative
+// slash paths) for caching; fromJSONDiags rehydrates them against the
+// current checkout, so cache entries are position-correct on any clone.
+func toJSONDiags(diags []Diagnostic, root string) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			File:    normalizePath(d.Pos.Filename, root),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Package: d.PkgPath,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+func fromJSONDiags(jds []JSONDiagnostic, root string) []Diagnostic {
+	out := make([]Diagnostic, 0, len(jds))
+	for _, jd := range jds {
+		out = append(out, Diagnostic{
+			Pos: token.Position{
+				Filename: filepath.Join(root, filepath.FromSlash(jd.File)),
+				Line:     jd.Line,
+				Column:   jd.Col,
+			},
+			Check:   jd.Check,
+			Message: jd.Message,
+			PkgPath: jd.Package,
+		})
+	}
+	return out
+}

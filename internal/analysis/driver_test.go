@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// renderDriver renders a driver result the way `livenas-vet -json` does,
+// so byte-comparison here proves byte-identical CLI output.
+func renderDriver(t *testing.T, res *DriverResult, root string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, res.Diags, root); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestDriverOutputDeterministic runs the full check registry over a fixture
+// module at several parallelism levels, cold and warm, and requires the
+// rendered JSON to be byte-identical every time: the merge order must be a
+// function of the findings, never of goroutine completion order or of
+// which findings came from cache.
+func TestDriverOutputDeterministic(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "determtaint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, jobs := range []int{1, 2, 8} {
+		res, err := RunDriver(root, "fix", DriverOptions{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(res.Diags) == 0 {
+			t.Fatalf("jobs=%d: no findings; the fixture seeds violations", jobs)
+		}
+		got := renderDriver(t, res, root)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("jobs=%d: output differs from jobs=1:\n%s\n--- vs ---\n%s", jobs, got, want)
+		}
+	}
+
+	// Warm output must match cold output byte for byte, too.
+	cacheDir := t.TempDir()
+	cold, err := RunDriver(root, "fix", DriverOptions{Jobs: 2, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderDriver(t, cold, root); got != want {
+		t.Errorf("cold cached output differs from uncached output:\n%s", got)
+	}
+	warm, err := RunDriver(root, "fix", DriverOptions{Jobs: 8, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Loaded != 0 {
+		t.Errorf("warm run loaded %d packages, want 0", warm.Stats.Loaded)
+	}
+	if got := renderDriver(t, warm, root); got != want {
+		t.Errorf("warm cached output differs from cold output:\n%s", got)
+	}
+}
+
+// copyFixtureModule copies a testdata module into a temp dir so the test
+// can edit files without touching the checked-in fixture.
+func copyFixtureModule(t *testing.T, fixture string) string {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	err = filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestDriverCacheInvalidation proves the incremental contract on the
+// determtaint fixture's two-package DAG (fix/sim imports fix/util):
+//
+//   - an unchanged re-run reuses every package and loads nothing;
+//   - editing the leaf (util) re-analyzes the leaf and its dependent;
+//   - editing only the dependent (sim) re-analyzes just that package,
+//     while the leaf's findings come from cache;
+//   - findings after every partial run match a from-scratch run.
+func TestDriverCacheInvalidation(t *testing.T) {
+	root := copyFixtureModule(t, "determtaint")
+	cacheDir := t.TempDir()
+	// Cacheable checks only: a Global check in the selection would force a
+	// whole-target-set re-run on any edit, hiding the per-package behavior
+	// this test pins down.
+	opts := DriverOptions{
+		Checks:   []*Check{UncheckedWrite, DeterminismTaint},
+		Jobs:     2,
+		CacheDir: cacheDir,
+	}
+
+	run := func() *DriverResult {
+		t.Helper()
+		res, err := RunDriver(root, "fix", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fromScratch := func() string {
+		t.Helper()
+		res, err := RunDriver(root, "fix", DriverOptions{Checks: opts.Checks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderDriver(t, res, root)
+	}
+	appendComment := func(rel string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString("\n// cache-invalidation probe\n"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cold := run()
+	if got, want := len(cold.Stats.Analyzed), 2; got != want {
+		t.Fatalf("cold run analyzed %v, want %d packages", cold.Stats.Analyzed, want)
+	}
+	if len(cold.Diags) == 0 {
+		t.Fatal("cold run found nothing; the fixture seeds violations")
+	}
+	want := renderDriver(t, cold, root)
+
+	warm := run()
+	if len(warm.Stats.Analyzed) != 0 || warm.Stats.Loaded != 0 {
+		t.Errorf("unchanged re-run analyzed %v and loaded %d packages, want none",
+			warm.Stats.Analyzed, warm.Stats.Loaded)
+	}
+	if got := renderDriver(t, warm, root); got != want {
+		t.Errorf("warm findings differ from cold:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	// Leaf edit: both the leaf and its dependent are re-analyzed.
+	appendComment("util/util.go")
+	leafEdit := run()
+	if got := leafEdit.Stats.Analyzed; len(got) != 2 {
+		t.Errorf("after editing fix/util: analyzed %v, want [fix/sim fix/util]", got)
+	}
+	if got := renderDriver(t, leafEdit, root); got != fromScratch() {
+		t.Errorf("findings after leaf edit diverge from a from-scratch run")
+	}
+
+	// Dependent-only edit: the leaf stays cached; its sources are still
+	// loaded (sim cannot type-check without util) but not re-analyzed.
+	appendComment("sim/sim.go")
+	depEdit := run()
+	if got := depEdit.Stats.Analyzed; len(got) != 1 || got[0] != "fix/sim" {
+		t.Errorf("after editing fix/sim: analyzed %v, want [fix/sim]", got)
+	}
+	if got := depEdit.Stats.Reused; len(got) != 1 || got[0] != "fix/util" {
+		t.Errorf("after editing fix/sim: reused %v, want [fix/util]", got)
+	}
+	if got := renderDriver(t, depEdit, root); got != fromScratch() {
+		t.Errorf("findings after dependent edit diverge from a from-scratch run")
+	}
+}
+
+// TestDriverGlobalCaching pins the Global-check cache contract: the global
+// findings are reused while the target set's closure is unchanged and
+// recomputed after any edit.
+func TestDriverGlobalCaching(t *testing.T) {
+	root := copyFixtureModule(t, "atomicmix")
+	cacheDir := t.TempDir()
+	opts := DriverOptions{Checks: []*Check{AtomicConsistency}, CacheDir: cacheDir}
+
+	cold, err := RunDriver(root, "fix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Stats.GlobalRan || cold.Stats.GlobalReused {
+		t.Fatalf("cold run: GlobalRan=%v GlobalReused=%v, want ran fresh", cold.Stats.GlobalRan, cold.Stats.GlobalReused)
+	}
+	if len(cold.Diags) == 0 {
+		t.Fatal("cold run found nothing; the fixture seeds violations")
+	}
+
+	warm, err := RunDriver(root, "fix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.GlobalRan || !warm.Stats.GlobalReused || warm.Stats.Loaded != 0 {
+		t.Errorf("warm run: GlobalRan=%v GlobalReused=%v Loaded=%d, want cached with nothing loaded",
+			warm.Stats.GlobalRan, warm.Stats.GlobalReused, warm.Stats.Loaded)
+	}
+	if got, want := renderDriver(t, warm, root), renderDriver(t, cold, root); got != want {
+		t.Errorf("warm global findings differ from cold:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	path := filepath.Join(root, "a", "a.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("\n// edit\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := RunDriver(root, "fix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edited.Stats.GlobalRan {
+		t.Errorf("after edit: global checks served from cache, want a fresh run")
+	}
+}

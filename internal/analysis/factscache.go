@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// factsSchema versions the on-disk facts-cache format AND the semantics of
+// the checks themselves. Bump it whenever a check's logic, a summary fact,
+// or the diagnostic encoding changes so stale entries self-invalidate.
+// (The driver additionally folds the analyzer package's own source hash
+// into every key when it is analyzing this repository, so in-tree check
+// edits invalidate the cache even without a bump.)
+const factsSchema = 1
+
+// factsEntry is one cache record: the findings one cache key produced.
+// Per-package keys store the findings attributed to that package;
+// the global key stores the combined findings of all Global checks.
+type factsEntry struct {
+	Schema  int              `json:"schema"`
+	Key     string           `json:"key"`
+	Package string           `json:"package,omitempty"` // "" for the global entry
+	Diags   []JSONDiagnostic `json:"diags"`
+}
+
+// FactsCache is an on-disk cache of per-package analysis findings keyed by
+// dependency-closure content hashes. A nil *FactsCache is valid and always
+// misses, so callers never branch on whether caching is enabled. Entries
+// are written via temp-file + rename, so concurrent writers are safe and
+// readers never observe a torn file.
+type FactsCache struct {
+	dir string
+}
+
+// OpenFactsCache opens (creating if needed) a facts cache rooted at dir.
+// An empty dir disables caching and returns nil.
+func OpenFactsCache(dir string) (*FactsCache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysis: open facts cache: %w", err)
+	}
+	return &FactsCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory, or "" for a nil cache.
+func (c *FactsCache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+func (c *FactsCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the findings cached under key, if present and valid. Invalid
+// or mismatched entries (schema drift, truncated writes, hash collisions in
+// the file name) are deleted so they cannot go stale silently.
+func (c *FactsCache) Get(key string) ([]JSONDiagnostic, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e factsEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != factsSchema || e.Key != key {
+		os.Remove(c.path(key))
+		return nil, false
+	}
+	return e.Diags, true
+}
+
+// Put stores findings under key. Cache write failures are reported but are
+// not fatal to an analysis run: the caller already holds the results.
+func (c *FactsCache) Put(key, pkgPath string, diags []JSONDiagnostic) error {
+	if c == nil {
+		return nil
+	}
+	e := factsEntry{Schema: factsSchema, Key: key, Package: pkgPath, Diags: diags}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "facts-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if err := errors.Join(werr, cerr); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Len reports how many entries the cache currently holds.
+func (c *FactsCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n
+}

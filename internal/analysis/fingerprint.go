@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the incremental driver's view of the module BEFORE any
+// type-checking happens: a cheap content-addressed index of every package
+// (which files it has, what it imports inside the module, and a SHA-256 of
+// its sources). From it the driver derives each package's dependency-
+// closure key — the cache key under which that package's findings are
+// stored. A fully-warm run costs one directory walk and one ImportsOnly
+// parse per file; no package is loaded or type-checked at all.
+
+// pkgMeta is the index entry for one package directory.
+type pkgMeta struct {
+	Path    string   // import path
+	Dir     string   // absolute source directory
+	Files   []string // buildable non-test file names, sorted
+	Imports []string // module-internal imports, sorted, deduplicated
+	hash    string   // hex SHA-256 of the package's own file contents
+}
+
+// moduleIndex indexes every package of one module by import path.
+type moduleIndex struct {
+	Root    string
+	ModPath string
+	Pkgs    map[string]*pkgMeta
+	Paths   []string // sorted import paths
+
+	salt    string
+	closure map[string]string // memoized closure keys
+}
+
+// moduleGoDirs returns every directory under root that holds buildable
+// non-test Go files, skipping testdata, hidden, and underscore-prefixed
+// trees — the same selection LoadAll uses, so index and loader always
+// agree on what a "module package" is.
+func moduleGoDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// buildableFiles lists dir's non-test Go files that pass the build
+// constraints — the same filter load() applies before type-checking.
+func buildableFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// indexModule scans the module tree and builds the package index. salt is
+// folded into every closure key; the driver derives it from the facts
+// schema, the Go version, and the selected check set, so changing any of
+// them invalidates the whole cache.
+func indexModule(root, modPath, salt string) (*moduleIndex, error) {
+	dirs, err := moduleGoDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	idx := &moduleIndex{
+		Root:    root,
+		ModPath: modPath,
+		Pkgs:    map[string]*pkgMeta{},
+		salt:    salt,
+		closure: map[string]string{},
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := buildableFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		meta := &pkgMeta{Path: ip, Dir: dir, Files: files}
+		h := sha256.New()
+		seen := map[string]bool{}
+		for _, name := range files {
+			full := filepath.Join(dir, name)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00%s", name, len(data), data)
+			// ImportsOnly parsing stops after the import block — the cheap
+			// part of the file — which is all the dependency DAG needs.
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: scan %s: %w", full, err)
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[p] || p == ip {
+					continue
+				}
+				seen[p] = true
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					meta.Imports = append(meta.Imports, p)
+				}
+			}
+		}
+		sort.Strings(meta.Imports)
+		meta.hash = hex.EncodeToString(h.Sum(nil))
+		idx.Pkgs[ip] = meta
+		idx.Paths = append(idx.Paths, ip)
+	}
+	sort.Strings(idx.Paths)
+	return idx, nil
+}
+
+// ClosureKey returns the cache key of one package: a hash of the salt, the
+// package's own content hash, and the closure keys of every module-internal
+// import. Any edit anywhere in the package's dependency closure changes the
+// key; edits elsewhere in the module do not.
+func (idx *moduleIndex) ClosureKey(ip string) (string, error) {
+	if k, ok := idx.closure[ip]; ok {
+		if k == "" {
+			return "", fmt.Errorf("analysis: import cycle through %s", ip)
+		}
+		return k, nil
+	}
+	meta := idx.Pkgs[ip]
+	if meta == nil {
+		return "", fmt.Errorf("analysis: package %s not in module index", ip)
+	}
+	idx.closure[ip] = "" // cycle marker
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00", idx.salt, ip, meta.hash)
+	for _, dep := range meta.Imports {
+		dk, err := idx.ClosureKey(dep)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00", dk)
+	}
+	k := hex.EncodeToString(h.Sum(nil))
+	idx.closure[ip] = k
+	return k, nil
+}
+
+// GlobalKey hashes the closure keys of the whole target set (plus an extra
+// salt component for the global check names). Global checks — whose
+// findings in one package can change when any other package changes — are
+// cached under this key: any edit to any target's closure forces a re-run.
+func (idx *moduleIndex) GlobalKey(extraSalt string, targets []string) (string, error) {
+	sorted := append([]string(nil), targets...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	fmt.Fprintf(h, "global\x00%s\x00%s\x00", idx.salt, extraSalt)
+	for _, ip := range sorted {
+		k, err := idx.ClosureKey(ip)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", ip, k)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// MatchPatterns filters the module's import paths by go-style package
+// patterns relative to the module root: "./..." matches everything,
+// "./dir/..." a subtree, "./dir" one package. No patterns means everything.
+func (idx *moduleIndex) MatchPatterns(patterns []string) []string {
+	if len(patterns) == 0 {
+		return append([]string(nil), idx.Paths...)
+	}
+	var out []string
+	for _, ip := range idx.Paths {
+		if matchesPattern(ip, patterns, idx.ModPath) {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+func matchesPattern(path string, patterns []string, modPath string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+		if pat == "..." || pat == "." {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			prefix := modPath + "/" + sub
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if path == modPath+"/"+pat || (pat == "" && path == modPath) {
+			return true
+		}
+	}
+	return false
+}

@@ -10,7 +10,6 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 )
 
@@ -95,27 +94,11 @@ func FindModule(dir string) (root, modPath string, err error) {
 // testdata, hidden, and underscore-prefixed directories. Packages are
 // returned in a deterministic (import-before-importer) order.
 func (l *Loader) LoadAll() ([]*Package, error) {
-	var dirs []string
-	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != l.ModRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		if hasGoFiles(path) {
-			dirs = append(dirs, path)
-		}
-		return nil
-	})
+	dirs, err := moduleGoDirs(l.ModRoot)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(dirs)
+	var paths []string
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(l.ModRoot, dir)
 		if err != nil {
@@ -125,6 +108,18 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if rel != "." {
 			ip = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
+		paths = append(paths, ip)
+	}
+	return l.LoadPackages(paths)
+}
+
+// LoadPackages loads the named module-internal packages plus (implicitly,
+// via import resolution) their module-internal dependency closure. The
+// returned slice covers everything loaded, in import-before-importer
+// order — the subset the incremental driver needs when only some packages
+// are dirty.
+func (l *Loader) LoadPackages(paths []string) ([]*Package, error) {
+	for _, ip := range paths {
 		if _, err := l.load(ip); err != nil {
 			return nil, fmt.Errorf("analysis: load %s: %w", ip, err)
 		}

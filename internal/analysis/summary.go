@@ -34,6 +34,30 @@ type FuncSummary struct {
 	// Locks maps every lock class the function may acquire (directly or
 	// through callees) to a representative acquisition position.
 	Locks map[string]token.Pos
+
+	// Nondet is the function's purity fact: every nondeterministic source
+	// the function may observe (directly or through a callee), keyed by a
+	// stable source description ("time.Now", "math/rand.Intn", "map
+	// iteration order", …) mapped to the position in THIS function where
+	// the taint enters (the source site or the tainting call site). An
+	// empty map means the function is deterministic-replay pure as far as
+	// the modeled sources go.
+	Nondet map[string]token.Pos
+
+	// ConsultsCtx[i] reports that parameter i is a context.Context whose
+	// cancellation the function observes: it calls Done/Err/Deadline on it
+	// (possibly via a derived context), selects on it, or passes it to a
+	// callee known (or conservatively assumed) to consult it.
+	ConsultsCtx []bool
+
+	// BlockPos is the first position at which the function may block
+	// without observing cancellation — an unguarded channel op, a
+	// WaitGroup.Wait, a time.Sleep, blocking socket I/O, or a call to a
+	// callee with its own BlockPos — or token.NoPos when the function is
+	// provably non-blocking or every blocking point is select-guarded on a
+	// ctx.Done. BlockDesc names the root blocking kind for diagnostics.
+	BlockPos  token.Pos
+	BlockDesc string
 }
 
 // Summaries indexes the module's function summaries.
@@ -66,6 +90,8 @@ func ComputeSummaries(g *CallGraph) *Summaries {
 			ReturnsArena:  make([]bool, nr),
 			WaitsOnParam:  make([]bool, np),
 			Locks:         map[string]token.Pos{},
+			Nondet:        map[string]token.Pos{},
+			ConsultsCtx:   make([]bool, np),
 		}
 	}
 	g.BottomUp(func(fi *FuncInfo) bool {
@@ -75,6 +101,12 @@ func ComputeSummaries(g *CallGraph) *Summaries {
 			changed = true
 		}
 		if waitSummarize(fi, s, sum) {
+			changed = true
+		}
+		if determSummarize(fi, s, sum) {
+			changed = true
+		}
+		if ctxSummarize(fi, s, sum) {
 			changed = true
 		}
 		return changed

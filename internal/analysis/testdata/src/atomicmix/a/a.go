@@ -1,0 +1,48 @@
+// Package a mixes sync/atomic and plain access to the same words — the
+// race pattern the atomic-consistency check exists for. Typed atomics make
+// the mix inexpressible and are never flagged.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64        // plain-only: never flagged
+	safe  atomic.Int64 // typed atomic: never flagged
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	c.safe.Add(1)
+	c.total++
+}
+
+func (c *counter) readPlain() int64 {
+	return c.hits // want atomic-consistency
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits) + c.safe.Load() // ok
+}
+
+func (c *counter) doubleRace() {
+	atomic.AddInt64(&c.hits, c.hits) // want atomic-consistency
+}
+
+var flag int32
+
+func setFlag() { atomic.StoreInt32(&flag, 1) }
+
+func readFlag() int32 {
+	return flag // want atomic-consistency
+}
+
+// newCounter initializes before the value is shared; the mix is justified
+// for the whole constructor.
+//
+//livenas:allow atomic-consistency init happens before any goroutine can see the value
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 0
+	return c
+}

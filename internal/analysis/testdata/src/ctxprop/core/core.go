@@ -1,0 +1,87 @@
+// Package core sits inside the context-propagation scope (path segment
+// "core"): every blocking operation in a ctx-taking function must be
+// cancellable — select-guarded on ctx.Done, or delegated to a callee that
+// consults the context it is handed.
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func unguarded(ctx context.Context, ch chan int) {
+	ch <- 1                      // want context-propagation
+	<-ch                         // want context-propagation
+	time.Sleep(time.Millisecond) // want context-propagation
+}
+
+func guarded(ctx context.Context, ch chan int) {
+	select { // ok: ctx.Done case
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+	select { // ok: default makes it non-blocking
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	<-ctx.Done() // ok: waiting for cancellation itself
+}
+
+func badSelect(ctx context.Context, a, b chan int) {
+	select { // want context-propagation
+	case <-a:
+	case <-b:
+	}
+}
+
+func waitsWG(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want context-propagation
+}
+
+// blockHelper is not ctx-taking, so it is not audited itself — but its
+// blocking fact propagates to ctx-taking callers.
+func blockHelper(ch chan int) int { return <-ch }
+
+func callsBlocker(ctx context.Context, ch chan int) int {
+	return blockHelper(ch) // want context-propagation
+}
+
+func consultingHelper(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+func delegates(ctx context.Context, ch chan int) {
+	consultingHelper(ctx, ch) // ok: ctx threaded to a consulting callee
+}
+
+func ignoringHelper(ctx context.Context, ch chan int) {
+	<-ch // want context-propagation
+}
+
+func delegatesBadly(ctx context.Context, ch chan int) {
+	ignoringHelper(ctx, ch) // want context-propagation
+}
+
+// boundedHelper's wait is provably bounded, so the blocking fact is
+// withheld at the source and callers stay clean.
+//
+//livenas:allow context-propagation fixture: the channel is buffered and pre-filled by construction
+func boundedHelper(ch chan int) int { return <-ch }
+
+func callsBounded(ctx context.Context, ch chan int) int {
+	return boundedHelper(ch) // ok: callee annotated bounded
+}
+
+func derived(ctx context.Context, ch chan int) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	select { // ok: Done on a context derived from the parameter
+	case ch <- 1:
+	case <-sub.Done():
+	}
+}

@@ -1,0 +1,34 @@
+// Package other is outside the audit scope, so its blocking ops are not
+// flagged — but the stored-context escape scan is module-wide: a context
+// stored in a field that nothing ever consults is cancellation theater
+// wherever it lives.
+package other
+
+import "context"
+
+type worker struct {
+	ctx context.Context
+}
+
+func newWorker(ctx context.Context) *worker {
+	return &worker{ctx: ctx} // want context-propagation
+}
+
+type server struct {
+	ctx context.Context
+}
+
+func newServer(ctx context.Context) *server {
+	return &server{ctx: ctx} // ok: consulted in run
+}
+
+func (s *server) run(ch chan int) {
+	select {
+	case <-ch:
+	case <-s.ctx.Done():
+	}
+}
+
+func outOfScope(ctx context.Context, ch chan int) {
+	<-ch // ok: package is outside the audit scope
+}

@@ -1,0 +1,145 @@
+// Package sim sits inside the determinism scope (path segment "sim").
+// Direct nondeterministic sources, order-sensitive map folds, completion-
+// order folds, and calls to tainted out-of-scope helpers are all flagged;
+// the sanctioned patterns (seeded generators, collect-then-sort, keyed
+// writes, fixed-slot goroutine results) are not.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"fix/util"
+)
+
+func direct(injected *rand.Rand) time.Duration {
+	_ = rand.Intn(4)      // want determinism-taint
+	start := time.Now()   // want determinism-taint
+	_ = time.Since(start) // want determinism-taint
+
+	r := rand.New(rand.NewSource(1)) // seeded constructors: ok
+	_ = r.Intn(4)                    // method on a seeded source: ok
+	_ = injected.Float64()           // ok
+
+	t0 := time.Now() //livenas:allow determinism-taint fixture wall-clock site
+	_ = t0
+
+	return time.Until(t0.Add(time.Second)) // want determinism-taint
+}
+
+func mapFolds(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want determinism-taint
+		sum += v
+	}
+
+	// The sanctioned fix: collect the keys, sort them, fold in order.
+	keys := make([]string, 0, len(m))
+	for k := range m { // ok: collect-then-sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sorted float64
+	for _, k := range keys {
+		sorted += m[k]
+	}
+
+	// Keyed writes and integer counting are order-insensitive.
+	counts := map[string]int{}
+	n := 0
+	for k := range m { // ok: keyed write + integer count
+		counts[k] = len(k)
+		n++
+	}
+	_ = counts
+	_ = n
+	return sum + sorted
+}
+
+type agg struct{ keys []string }
+
+func fieldCollect(m map[string]int) agg {
+	var a agg
+	for k := range m { // ok: collect-then-sort through a struct field
+		a.keys = append(a.keys, k)
+	}
+	sort.Strings(a.keys)
+	return a
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m { // want determinism-taint
+		return k
+	}
+	return ""
+}
+
+func syncMapFolds(sm *sync.Map) []string {
+	var keys []string
+	sm.Range(func(k, v any) bool { // want determinism-taint
+		keys = append(keys, k.(string))
+		return true
+	})
+
+	n := 0
+	sm.Range(func(k, v any) bool { // ok: counting is order-insensitive
+		n++
+		return true
+	})
+	_ = n
+	return keys
+}
+
+func completionOrder(vals []float64) ([]float64, []float64) {
+	var out []float64
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		v := v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, v*2) // want determinism-taint
+		}()
+	}
+	wg.Wait()
+
+	// The sanctioned fix: one fixed slot per goroutine.
+	res := make([]float64, len(vals))
+	var wg2 sync.WaitGroup
+	for i, v := range vals {
+		i, v := i, v
+		wg2.Add(1)
+		go func() { // ok: indexed write into a fixed slot
+			defer wg2.Done()
+			res[i] = v * 2
+		}()
+	}
+	wg2.Wait()
+	return out, res
+}
+
+func recvFolds(ch chan float64, ints chan int, n int) ([]float64, float64, int) {
+	var xs []float64
+	var acc float64
+	cnt := 0
+	for i := 0; i < n; i++ {
+		xs = append(xs, <-ch) // want determinism-taint
+	}
+	for i := 0; i < n; i++ {
+		acc += <-ch // want determinism-taint
+	}
+	for i := 0; i < n; i++ {
+		cnt += <-ints // ok: integer accumulation commutes
+	}
+	return xs, acc, cnt
+}
+
+func laundered() int64 {
+	a := util.Stamp() // want determinism-taint
+	b := util.Wrap()  // want determinism-taint
+	c := util.Pure(3) // ok: pure helper
+	d := util.Stamp() //livenas:allow determinism-taint fixture justified call
+	return a + b + int64(c) + d
+}

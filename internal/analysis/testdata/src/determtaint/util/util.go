@@ -1,0 +1,15 @@
+// Package util is outside the determinism scope: its own wall-clock reads
+// are not flagged here, but the taint they introduce is recorded in the
+// function summaries and reported at call sites inside the scope.
+package util
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Wrap launders the taint through one more call level.
+func Wrap() int64 { return Stamp() }
+
+// Pure is deterministic; calls to it are never flagged.
+func Pure(x int) int { return x * 2 }

@@ -10,6 +10,7 @@
 package gcc
 
 import (
+	"sort"
 	"time"
 
 	"livenas/internal/telemetry"
@@ -147,9 +148,18 @@ func (c *Controller) observeDelays(acks []Ack) float64 {
 	if len(c.bins) < 3 {
 		return c.smoothedSlope
 	}
-	// Least-squares fit of min-OWD vs bin time.
+	// Least-squares fit of min-OWD vs bin time. The fold runs over the
+	// bins in sorted order: float accumulation is not associative, so
+	// iterating the map directly would make the slope — and through it the
+	// whole rate trace — vary between bit-exact replays of one input.
+	bins := make([]int64, 0, len(c.bins))
+	for bin := range c.bins {
+		bins = append(bins, bin)
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i] < bins[j] })
 	var n, sx, sy, sxx, sxy float64
-	for bin, owd := range c.bins {
+	for _, bin := range bins {
+		owd := c.bins[bin]
 		x := time.Duration(bin-c.maxBin) * binWidth
 		xs := x.Seconds()
 		n++

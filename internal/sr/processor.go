@@ -83,6 +83,8 @@ func (p *Processor) Sync(model *Model) {
 // Process super-resolves lr and returns the upscaled frame together with
 // the simulated per-frame latency from the device model. The computation is
 // genuinely parallel across strips (one goroutine per GPU replica).
+//
+//livenas:allow context-propagation bounded wait: the strip join waits only on its own per-frame goroutines, each finite CPU kernel work
 func (p *Processor) Process(lr *frame.Frame) (*frame.Frame, time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

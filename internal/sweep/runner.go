@@ -97,6 +97,8 @@ type Handle struct {
 // Wait blocks until the session completes and returns its results. The
 // error is non-nil when the config was invalid or the sweep's context was
 // cancelled before the session finished.
+//
+//livenas:allow context-propagation bounded wait: h.done is closed on every worker exit path, and workers observe r.ctx (admission select + core.RunContext), so cancellation resolves the handle
 func (h *Handle) Wait() (*core.Results, error) {
 	<-h.done
 	return h.res, h.err
@@ -104,6 +106,8 @@ func (h *Handle) Wait() (*core.Results, error) {
 
 // Cached reports whether the result was served from the persisted cache
 // (not merely memoized in-process). Only meaningful after Wait.
+//
+//livenas:allow context-propagation bounded wait: same h.done discipline as Wait — cancellation resolves the handle
 func (h *Handle) Cached() bool {
 	<-h.done
 	return h.cached
@@ -129,7 +133,7 @@ func New(ctx context.Context, o Options) *Runner {
 		cache:     o.Cache,
 		sem:       make(chan struct{}, w),
 		inflight:  map[string]*Handle{},
-		startedAt: time.Now(),
+		startedAt: time.Now(), //livenas:allow determinism-taint sweep telemetry measures real wall time; it never feeds session Results
 		reg:       reg,
 		mStarted:  reg.Counter("sweep_sessions_started"),
 		mFinished: reg.Counter("sweep_sessions_finished"),
@@ -161,6 +165,8 @@ func canonical(cfg core.Config) core.Config {
 // Go submits one session and returns its handle immediately. Submissions
 // with the same canonical config (Config.Defaulted, ignoring Telemetry and
 // KernelWorkers) share a single execution and return the same handle.
+//
+//livenas:allow context-propagation bounded wait: worker admission selects on r.ctx.Done, and the deferred <-r.sem returns a token the worker itself holds in a buffered channel
 func (r *Runner) Go(cfg core.Config) *Handle {
 	r.submitted.Add(1)
 	cfg = canonical(cfg)
@@ -225,7 +231,7 @@ func (r *Runner) admit(key string, h *Handle) (*Handle, bool) {
 
 // runSession resolves one handle: persisted cache first, live run on miss.
 func (r *Runner) runSession(h *Handle, cfg core.Config) {
-	t0 := time.Now()
+	t0 := time.Now() //livenas:allow determinism-taint wall_ms telemetry only; session Results come from the deterministic simulator clock
 	if res, ok := r.cache.Get(h.key); ok {
 		h.res, h.cached = res, true
 		r.cached.Add(1)
@@ -248,6 +254,8 @@ func (r *Runner) runSession(h *Handle, cfg core.Config) {
 }
 
 // finishSession accounts a successfully resolved session.
+//
+//livenas:allow determinism-taint emits wall-clock sweep telemetry (wall_ms, uptime); session Results are untouched
 func (r *Runner) finishSession(h *Handle, t0 time.Time) {
 	r.finished.Add(1)
 	r.mFinished.Inc()
@@ -272,6 +280,8 @@ func b2f(b bool) float64 {
 // submission order (a memoized duplicate submission occupies its slot with
 // the shared result). The error is the first submission's failure, if any;
 // results of successful sessions are returned either way.
+//
+//livenas:allow context-propagation bounded wait: every session goroutine selects on r.ctx.Done at admission and runs under core.RunContext(r.ctx), so cancelling r.ctx drains r.wg
 func (r *Runner) Collect() ([]*core.Results, error) {
 	r.wg.Wait()
 	order := r.snapshot()
@@ -311,6 +321,8 @@ type Stats struct {
 }
 
 // Stats returns the sweep's current counters.
+//
+//livenas:allow determinism-taint Stats.Wall is operator-facing wall time; it never feeds session Results
 func (r *Runner) Stats() Stats {
 	fin := int(r.finished.Load())
 	cach := int(r.cached.Load())

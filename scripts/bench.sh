@@ -7,10 +7,13 @@
 # ratios. The JSON is committed so the perf trajectory is reviewable
 # across PRs.
 #
-#   scripts/bench.sh            full run, writes BENCH_kernels.json and the
+#   scripts/bench.sh            full run, writes BENCH_kernels.json, the
 #                               sweep-engine serial-vs-parallel record
 #                               BENCH_sweep.json (cmd/livenas-bench
-#                               -sweepbench; gated by bench-compare -sweep)
+#                               -sweepbench; gated by bench-compare -sweep),
+#                               and the vet-engine cold/warm record
+#                               BENCH_vet.json (livenas-vet -bench; gated by
+#                               bench-compare -vet)
 #   scripts/bench.sh -short     few-iteration smoke run (CI gate): exercises
 #                               every kernel bench and the JSON emitter,
 #                               writes to a temp file so the tracked baseline
@@ -127,4 +130,7 @@ cat "$OUT"
 if [[ "$SHORT" == 0 ]]; then
     echo "== bench: sweep engine serial vs parallel" >&2
     go run ./cmd/livenas-bench -sweepbench BENCH_sweep.json
+
+    echo "== bench: vet engine cold vs warm" >&2
+    go run ./cmd/livenas-vet -bench BENCH_vet.json ./...
 fi

@@ -3,16 +3,22 @@
 # standalone on a laptop).
 #
 #   scripts/ci.sh fast    blocking tier: build, gofmt, go vet, livenas-vet
-#                         (baseline-gated via analysis/baseline.json),
-#                         short tests, parallel sweep smoke (one small
-#                         figure sweep at -parallel 4)
-#   scripts/ci.sh full    merge tier: full tests, race tier (includes
-#                         internal/sweep), fuzz smoke (FUZZTIME, default
-#                         10s, 0 skips), kernel-bench regression gate vs
-#                         BENCH_kernels.json (cmd/bench-compare, BENCH_NOISE
-#                         overrides the 15% threshold), sweep-speedup gate
-#                         vs BENCH_sweep.json, telemetry run-summary
-#                         validation
+#                         (baseline-gated via analysis/baseline.json,
+#                         incremental: parallel -j with the facts cache in
+#                         VET_CACHE, default ~/.cache/livenas-vet, so
+#                         unchanged packages are never re-analyzed), short
+#                         tests, parallel sweep smoke (one small figure
+#                         sweep at -parallel 4)
+#   scripts/ci.sh full    merge tier: cold livenas-vet (no cache — proves
+#                         findings independently of cache state), full
+#                         tests, race tier (includes internal/sweep and the
+#                         parallel vet driver), fuzz smoke (FUZZTIME,
+#                         default 10s, 0 skips), kernel-bench regression
+#                         gate vs BENCH_kernels.json (cmd/bench-compare,
+#                         BENCH_NOISE overrides the 15% threshold),
+#                         sweep-speedup gate vs BENCH_sweep.json, vet
+#                         warm-cache gate vs BENCH_vet.json, telemetry
+#                         run-summary validation
 #
 # Each step is timed; the table goes to stdout and, when running under
 # GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY).
@@ -85,7 +91,9 @@ if [[ "$TIER" == "fast" ]]; then
     step "go build" go build ./...
     step "gofmt" gofmt_clean
     step "go vet" go vet ./...
-    step "livenas-vet" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
+    step "livenas-vet (cached)" go run ./cmd/livenas-vet \
+        -j "$(nproc)" -cache-dir "${VET_CACHE:-$HOME/.cache/livenas-vet}" -stats \
+        -baseline analysis/baseline.json ./...
     step "go test -short" go test -short ./...
     # One real figure sweep through the concurrent engine: catches worker /
     # cache / ordering regressions the unit tests can't see end to end.
@@ -93,6 +101,7 @@ if [[ "$TIER" == "fast" ]]; then
 else
     FUZZTIME="${FUZZTIME:-10s}"
     step "go build" go build ./...
+    step "livenas-vet (cold)" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test" go test ./...
     step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep
     if [[ "$FUZZTIME" != "0" ]]; then
@@ -101,6 +110,7 @@ else
     fi
     step "bench gate" go run ./cmd/bench-compare
     step "sweep gate" go run ./cmd/bench-compare -sweep
+    step "vet gate" go run ./cmd/bench-compare -vet
     step "summary gate" summary_gate
 fi
 

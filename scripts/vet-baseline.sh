@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate analysis/baseline.json from the current livenas-vet findings.
 #
+#   scripts/vet-baseline.sh          full regeneration (see below)
+#   scripts/vet-baseline.sh -prune   only drop entries whose finding no
+#                                    longer exists; never adds entries, so
+#                                    it is always safe after fixing findings
+#
 # Justifications for entries that persist are carried over; any NEW entry
 # is written with an empty justification, and the baseline refuses to load
 # until a human fills it in. That is deliberate: accepting a finding is an
@@ -10,6 +15,14 @@
 # precisely enough (see DESIGN.md "Correctness tooling").
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "-prune" ]]; then
+    # Exit 1 here means un-baselined findings remain: the prune itself
+    # still happened; fix or justify the remaining findings.
+    go run ./cmd/livenas-vet -baseline analysis/baseline.json -prune-baseline ./...
+    echo "vet-baseline.sh: analysis/baseline.json pruned"
+    exit 0
+fi
 
 go run ./cmd/livenas-vet -write-baseline analysis/baseline.json ./...
 
