@@ -27,6 +27,7 @@ var fixtureChecks = []struct {
 	{"arenalifetime", "arena-lifetime"},
 	{"goroutineleak", "goroutine-leak"},
 	{"lockorder", "lock-order"},
+	{"lockcross", "lock-order"},
 	{"determtaint", "determinism-taint"},
 	{"ctxprop", "context-propagation"},
 	{"atomicmix", "atomic-consistency"},

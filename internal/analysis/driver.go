@@ -76,6 +76,21 @@ type DriverResult struct {
 	Stats    DriverStats
 }
 
+// closureSound documents, per non-global RunModule check, why its findings
+// in one package depend only on that package's dependency closure: each of
+// these checks derives facts strictly bottom-up through callee summaries
+// (summary.go), so a finding in P can only be created or removed by an edit
+// inside P's import closure. Per-package caching of a module check is sound
+// ONLY under that property; RunDriver refuses any module check that is
+// neither Global nor listed here, rather than silently serving stale
+// findings (the lock-order bug this guards against: cross-package cycle
+// edges make findings depend on packages outside the closure).
+var closureSound = map[string]bool{
+	"arena-lifetime":    true,
+	"goroutine-leak":    true,
+	"determinism-taint": true,
+}
+
 // RunDriver analyzes the module rooted at root with incremental caching
 // and bounded parallelism. It is a superset of Run: with caching off and
 // one job it produces the same findings for the same target set.
@@ -92,6 +107,9 @@ func RunDriver(root, modPath string, opts DriverOptions) (*DriverResult, error) 
 		case c.Global:
 			globalChecks = append(globalChecks, c)
 		default:
+			if !closureSound[c.Name] {
+				return nil, fmt.Errorf("analysis: module check %q is neither Global nor documented closure-sound; mark it Global, or add it to closureSound if its findings in a package depend only on that package's dependency closure", c.Name)
+			}
 			modCacheable = append(modCacheable, c)
 		}
 	}
@@ -164,8 +182,12 @@ func RunDriver(root, modPath string, opts DriverOptions) (*DriverResult, error) 
 		}
 		res.Stats.Loaded = len(pkgs)
 		byPath := map[string]*Package{}
+		broken := map[string]bool{}
 		for _, p := range pkgs {
 			byPath[p.Path] = p
+			if len(p.TypeErrors) > 0 {
+				broken[p.Path] = true
+			}
 			for _, e := range p.TypeErrors {
 				res.Warnings = append(res.Warnings, fmt.Sprintf("%s: %v", p.Path, e))
 			}
@@ -183,6 +205,13 @@ func RunDriver(root, modPath string, opts DriverOptions) (*DriverResult, error) 
 			diags := fresh[ip]
 			sortDiags(diags)
 			perPkg[ip] = diags
+			// Findings computed from a broken type-check are not durable
+			// facts, and the type-error warnings that explain them are not
+			// part of the entry: caching would replay the findings
+			// warning-free on warm runs. Leave the key cold instead.
+			if idx.ClosureHas(ip, broken) {
+				continue
+			}
 			if err := cache.Put(keys[ip], ip, toJSONDiags(diags, root)); err != nil {
 				res.Warnings = append(res.Warnings, fmt.Sprintf("facts cache: %v", err))
 			}
@@ -196,8 +225,12 @@ func RunDriver(root, modPath string, opts DriverOptions) (*DriverResult, error) 
 			}
 			sortDiags(globalDiags)
 			res.Stats.GlobalRan = true
-			if err := cache.Put(globalKey, "", toJSONDiags(globalDiags, root)); err != nil {
-				res.Warnings = append(res.Warnings, fmt.Sprintf("facts cache: %v", err))
+			// The global substrate spans every loaded package, so any broken
+			// package taints the whole entry.
+			if len(broken) == 0 {
+				if err := cache.Put(globalKey, "", toJSONDiags(globalDiags, root)); err != nil {
+					res.Warnings = append(res.Warnings, fmt.Sprintf("facts cache: %v", err))
+				}
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -190,6 +191,169 @@ func TestDriverCacheInvalidation(t *testing.T) {
 	}
 	if got := renderDriver(t, depEdit, root); got != fromScratch() {
 		t.Errorf("findings after dependent edit diverge from a from-scratch run")
+	}
+}
+
+// TestDriverLockOrderCrossPackage pins lock-order's Global caching
+// contract on a cycle split across two packages: p takes A before B, q
+// takes B before A, and the shared classes live in a third package both
+// import — so neither half of the cycle is visible from the other's
+// dependency closure. Editing only q must (a) clear p's finding when q's
+// inversion is fixed (no phantom findings replayed from p's unchanged
+// closure key) and (b) surface a finding in p when q reintroduces the
+// opposite order (no silently missed new cycles).
+func TestDriverLockOrderCrossPackage(t *testing.T) {
+	root := copyFixtureModule(t, "lockcross")
+	cacheDir := t.TempDir()
+	opts := DriverOptions{Checks: []*Check{LockOrder}, Jobs: 2, CacheDir: cacheDir}
+
+	run := func() *DriverResult {
+		t.Helper()
+		res, err := RunDriver(root, "fix", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	findingPkgs := func(res *DriverResult) map[string]bool {
+		pkgs := map[string]bool{}
+		for _, d := range res.Diags {
+			if d.Check != "lock-order" {
+				t.Errorf("diagnostic from wrong check: %s", d)
+			}
+			pkgs[d.PkgPath] = true
+		}
+		return pkgs
+	}
+	qPath := filepath.Join(root, "q", "q.go")
+	inverted, err := os.ReadFile(qPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent := []byte(`// Package q now takes the locks in the same order as p.
+package q
+
+import "fix/locks"
+
+func AthenB(a *locks.A, b *locks.B) {
+	a.Mu.Lock()
+	b.Mu.Lock()
+	b.Mu.Unlock()
+	a.Mu.Unlock()
+}
+`)
+
+	cold := run()
+	if !cold.Stats.GlobalRan {
+		t.Fatal("cold run: lock-order was not treated as a Global check")
+	}
+	if pkgs := findingPkgs(cold); !pkgs["fix/p"] || !pkgs["fix/q"] {
+		t.Fatalf("cold run findings in %v, want both fix/p and fix/q", pkgs)
+	}
+	want := renderDriver(t, cold, root)
+
+	warm := run()
+	if warm.Stats.GlobalRan || !warm.Stats.GlobalReused || warm.Stats.Loaded != 0 {
+		t.Errorf("warm run: GlobalRan=%v GlobalReused=%v Loaded=%d, want cached with nothing loaded",
+			warm.Stats.GlobalRan, warm.Stats.GlobalReused, warm.Stats.Loaded)
+	}
+	if got := renderDriver(t, warm, root); got != want {
+		t.Errorf("warm findings differ from cold:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	// Fix q's inversion: the cycle is gone module-wide, so p's finding must
+	// disappear too even though p's own closure never changed.
+	if err := os.WriteFile(qPath, consistent, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed := run()
+	if !fixed.Stats.GlobalRan {
+		t.Error("after fixing q: lock-order served from cache, want a fresh run")
+	}
+	if len(fixed.Diags) != 0 {
+		t.Errorf("after fixing q: phantom findings persist:\n%s", renderDriver(t, fixed, root))
+	}
+
+	// Reintroduce the inversion: the new cross-package cycle must surface
+	// in p, not just in the edited package.
+	if err := os.WriteFile(qPath, inverted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := run()
+	if pkgs := findingPkgs(again); !pkgs["fix/p"] || !pkgs["fix/q"] {
+		t.Errorf("after reintroducing q's inversion: findings in %v, want both fix/p and fix/q", pkgs)
+	}
+	if got := renderDriver(t, again, root); got != want {
+		t.Errorf("findings after restore differ from cold run:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+// TestDriverBrokenTypeCheckNotCached: findings computed from a package set
+// that type-checked with soft errors must not enter the facts cache — a
+// warm run would otherwise replay them without the warnings that explain
+// them. Both runs over the broken tree must analyze fresh and emit the
+// same warnings.
+func TestDriverBrokenTypeCheckNotCached(t *testing.T) {
+	root := copyFixtureModule(t, "determtaint")
+	cacheDir := t.TempDir()
+	opts := DriverOptions{
+		Checks:   []*Check{UncheckedWrite, DeterminismTaint},
+		CacheDir: cacheDir,
+	}
+
+	// Break the leaf's type-check; the file still parses, so the index's
+	// ImportsOnly scan and the loader both proceed.
+	utilPath := filepath.Join(root, "util", "util.go")
+	f, err := os.OpenFile(utilPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\nvar _ = undefinedSymbol\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := RunDriver(root, "fix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Warnings) == 0 {
+		t.Fatal("first run: no type-error warnings; the edit was meant to break util")
+	}
+	if len(first.Stats.Analyzed) != 2 {
+		t.Fatalf("first run analyzed %v, want both packages", first.Stats.Analyzed)
+	}
+
+	second, err := RunDriver(root, "fix", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Stats.Reused) != 0 {
+		t.Errorf("second run reused %v; findings from a broken type-check must not be cached", second.Stats.Reused)
+	}
+	if len(second.Warnings) == 0 {
+		t.Error("second run dropped the type-error warnings")
+	}
+	if got, want := renderDriver(t, second, root), renderDriver(t, first, root); got != want {
+		t.Errorf("second run findings differ from first:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+// TestDriverRejectsUndocumentedModuleCheck: per-package caching of a module
+// check is only sound when its facts flow bottom-up through the dependency
+// closure; the driver must refuse a non-global RunModule check that is not
+// documented closure-sound rather than cache it unsoundly.
+func TestDriverRejectsUndocumentedModuleCheck(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "determtaint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := &Check{Name: "bogus-module-check", RunModule: func(*ModulePass) {}}
+	_, err = RunDriver(root, "fix", DriverOptions{Checks: []*Check{bogus}})
+	if err == nil || !strings.Contains(err.Error(), "closure-sound") {
+		t.Fatalf("RunDriver accepted an undocumented module check (err=%v)", err)
 	}
 }
 

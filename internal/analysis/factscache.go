@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 )
 
 // factsSchema versions the on-disk facts-cache format AND the semantics of
@@ -35,8 +38,16 @@ type FactsCache struct {
 	dir string
 }
 
-// OpenFactsCache opens (creating if needed) a facts cache rooted at dir.
-// An empty dir disables caching and returns nil.
+// factsMaxEntries caps the cache size. Entries are content-keyed, so every
+// edit mints a new key and no key is ever overwritten; without eviction the
+// persistent directory shared by CI and developers would grow without
+// bound. OpenFactsCache keeps the newest factsMaxEntries files and deletes
+// the rest.
+const factsMaxEntries = 4096
+
+// OpenFactsCache opens (creating if needed) a facts cache rooted at dir,
+// evicting the oldest entries beyond factsMaxEntries. An empty dir disables
+// caching and returns nil.
 func OpenFactsCache(dir string) (*FactsCache, error) {
 	if dir == "" {
 		return nil, nil
@@ -44,7 +55,51 @@ func OpenFactsCache(dir string) (*FactsCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("analysis: open facts cache: %w", err)
 	}
+	pruneFactsDir(dir, factsMaxEntries)
 	return &FactsCache{dir: dir}, nil
+}
+
+// pruneFactsDir keeps the max newest cache files (entries and writer temp
+// files alike, ordered by mtime) and deletes the rest — dead keys from old
+// edits, plus temp files abandoned by interrupted writers, which age to the
+// bottom of the order. Best-effort: eviction is hygiene, never correctness,
+// so every error is ignored.
+func pruneFactsDir(dir string, max int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		name string
+		mod  time.Time
+	}
+	var files []file
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if filepath.Ext(name) != ".json" && !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{name, info.ModTime()})
+	}
+	if len(files) <= max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mod.Equal(files[j].mod) {
+			return files[i].mod.After(files[j].mod)
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files[max:] {
+		os.Remove(filepath.Join(dir, f.name))
+	}
 }
 
 // Dir returns the cache directory, or "" for a nil cache.

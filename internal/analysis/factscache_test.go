@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestPruneFactsDir: eviction keeps the newest max files by mtime and
+// deletes the rest, abandoned writer temp files included, so the
+// content-keyed cache directory stays bounded as edits mint new keys.
+func TestPruneFactsDir(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	// Ten entries, oldest first: k00 is 10h old, k09 is 1h old.
+	for i := 0; i < 10; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("k%02d.json", i))
+		if err := os.WriteFile(name, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mt := now.Add(-time.Duration(10-i) * time.Hour)
+		if err := os.Chtimes(name, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An abandoned temp file, older than every entry, and an unrelated file
+	// pruning must never touch.
+	tmp := filepath.Join(dir, "facts-dead.tmp")
+	if err := os.WriteFile(tmp, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := now.Add(-24 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "README")
+	if err := os.WriteFile(other, []byte("not a cache file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pruneFactsDir(dir, 4)
+
+	for i := 0; i < 10; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("k%02d.json", i))
+		_, err := os.Stat(name)
+		if i >= 6 && err != nil {
+			t.Errorf("newest entry k%02d.json was evicted: %v", i, err)
+		}
+		if i < 6 && err == nil {
+			t.Errorf("old entry k%02d.json survived a prune to 4", i)
+		}
+	}
+	if _, err := os.Stat(tmp); err == nil {
+		t.Error("abandoned temp file survived pruning")
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Errorf("non-cache file was deleted: %v", err)
+	}
+
+	// Under the cap, pruning is a no-op.
+	pruneFactsDir(dir, 100)
+	if got := len(mustReadDir(t, dir)); got != 5 {
+		t.Errorf("under-cap prune changed the directory: %d files, want 5", got)
+	}
+}
+
+func mustReadDir(t *testing.T, dir string) []os.DirEntry {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestOpenFactsCachePrunes: the cap is applied on open, so long-lived cache
+// directories (CI fast tier, ~/.cache/livenas-vet) self-trim without a
+// separate GC step.
+func TestOpenFactsCachePrunes(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	for i := 0; i < factsMaxEntries+25; i++ {
+		name := filepath.Join(dir, fmt.Sprintf("k%05d.json", i))
+		if err := os.WriteFile(name, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Spread mtimes so the eviction order is well-defined even on
+		// coarse-mtime filesystems.
+		mt := now.Add(-time.Duration(factsMaxEntries+25-i) * time.Second)
+		if err := os.Chtimes(name, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := OpenFactsCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != factsMaxEntries {
+		t.Errorf("after open: %d entries, want the cap %d", got, factsMaxEntries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k00000.json")); err == nil {
+		t.Error("oldest entry survived the on-open prune")
+	}
+}

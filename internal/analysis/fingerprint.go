@@ -192,6 +192,37 @@ func (idx *moduleIndex) ClosureKey(ip string) (string, error) {
 	return k, nil
 }
 
+// ClosureHas reports whether ip, or any module-internal package in its
+// import closure, is in set. The driver uses it to keep findings computed
+// from a broken type-check out of the facts cache.
+func (idx *moduleIndex) ClosureHas(ip string, set map[string]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	seen := map[string]bool{}
+	var walk func(string) bool
+	walk = func(p string) bool {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		if set[p] {
+			return true
+		}
+		meta := idx.Pkgs[p]
+		if meta == nil {
+			return false
+		}
+		for _, dep := range meta.Imports {
+			if walk(dep) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(ip)
+}
+
 // GlobalKey hashes the closure keys of the whole target set (plus an extra
 // salt component for the global check names). Global checks — whose
 // findings in one package can change when any other package changes — are
@@ -213,7 +244,10 @@ func (idx *moduleIndex) GlobalKey(extraSalt string, targets []string) (string, e
 
 // MatchPatterns filters the module's import paths by go-style package
 // patterns relative to the module root: "./..." matches everything,
-// "./dir/..." a subtree, "./dir" one package. No patterns means everything.
+// "./dir/..." a subtree, "./dir" one package, and "." or "./" only the
+// module-root package (as in go tooling, where "." is the current-directory
+// package, and the driver always runs from the module root). No patterns
+// means everything.
 func (idx *moduleIndex) MatchPatterns(patterns []string) []string {
 	if len(patterns) == 0 {
 		return append([]string(nil), idx.Paths...)
@@ -230,7 +264,7 @@ func (idx *moduleIndex) MatchPatterns(patterns []string) []string {
 func matchesPattern(path string, patterns []string, modPath string) bool {
 	for _, pat := range patterns {
 		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
-		if pat == "..." || pat == "." {
+		if pat == "..." {
 			return true
 		}
 		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
@@ -240,7 +274,7 @@ func matchesPattern(path string, patterns []string, modPath string) bool {
 			}
 			continue
 		}
-		if path == modPath+"/"+pat || (pat == "" && path == modPath) {
+		if path == modPath+"/"+pat || ((pat == "" || pat == ".") && path == modPath) {
 			return true
 		}
 	}

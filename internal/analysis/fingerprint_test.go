@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMatchPatterns pins the go-tooling meaning of each pattern shape; in
+// particular "." selects only the module-root package (a regression guard:
+// it used to match everything, so `livenas-vet .` silently analyzed the
+// whole module).
+func TestMatchPatterns(t *testing.T) {
+	idx := &moduleIndex{
+		ModPath: "fix",
+		Paths:   []string{"fix", "fix/a", "fix/a/b", "fix/c"},
+	}
+	all := idx.Paths
+	cases := []struct {
+		patterns []string
+		want     []string
+	}{
+		{nil, all},
+		{[]string{"./..."}, all},
+		{[]string{"..."}, all},
+		{[]string{"."}, []string{"fix"}},
+		{[]string{"./"}, []string{"fix"}},
+		{[]string{"./a"}, []string{"fix/a"}},
+		{[]string{"./a/..."}, []string{"fix/a", "fix/a/b"}},
+		{[]string{"./a", "./c"}, []string{"fix/a", "fix/c"}},
+		{[]string{"./nope"}, nil},
+	}
+	for _, tc := range cases {
+		if got := idx.MatchPatterns(tc.patterns); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("MatchPatterns(%v) = %v, want %v", tc.patterns, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package locks defines the shared lock classes; it contains no
+// acquisitions itself, so each half of the cross-package cycle lives
+// entirely in p or q.
+package locks
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }

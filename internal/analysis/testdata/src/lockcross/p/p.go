@@ -1,0 +1,13 @@
+// Package p acquires A before B — a finding only because package q takes
+// the opposite order: the cycle cannot be seen from p's dependency closure
+// alone, which is exactly why lock-order is Global.
+package p
+
+import "fix/locks"
+
+func AthenB(a *locks.A, b *locks.B) {
+	a.Mu.Lock()
+	b.Mu.Lock() // want lock-order
+	b.Mu.Unlock()
+	a.Mu.Unlock()
+}

@@ -1,0 +1,11 @@
+// Package q acquires B before A, closing the cycle against package p.
+package q
+
+import "fix/locks"
+
+func BthenA(a *locks.A, b *locks.B) {
+	b.Mu.Lock()
+	a.Mu.Lock() // want lock-order
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}
