@@ -60,7 +60,10 @@ type benchFile struct {
 
 // tracked is the gate's bench set; a baseline or current file missing any
 // of these is an error, not a silent pass.
-var tracked = []string{"conv_forward", "conv_backward", "train_epoch", "inference_1080p"}
+var tracked = []string{
+	"conv_forward", "conv_backward", "train_epoch", "inference_1080p",
+	"inference_1080p_int8", "inference_4k",
+}
 
 func main() {
 	var (
@@ -187,11 +190,20 @@ func currentBenches(path string) (*benchFile, error) {
 }
 
 // compare returns the tracked benches whose current speedup fell more than
-// threshold below the baseline's.
+// threshold below the baseline's. A tracked bench absent from either file is
+// reported as failed explicitly: readBenchFile already rejects such files,
+// but the gate must never turn a missing entry's zero value into a pass
+// (e.g. if both sides dropped a key in the same edit).
 func compare(base, cur *benchFile, threshold float64) []string {
 	var failed []string
 	for _, name := range tracked {
-		b, c := base.Benches[name], cur.Benches[name]
+		b, okB := base.Benches[name]
+		c, okC := cur.Benches[name]
+		if !okB || !okC {
+			fmt.Fprintf(os.Stderr, "bench-compare: tracked bench %q missing (baseline: %v, current: %v)\n", name, okB, okC)
+			failed = append(failed, name)
+			continue
+		}
 		if c.Speedup < b.Speedup*(1-threshold) {
 			failed = append(failed, name)
 		}

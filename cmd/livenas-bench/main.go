@@ -43,6 +43,8 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "session-result cache directory (empty = no cache)")
 		summary    = flag.String("summary", "", "run one representative LiveNAS session and write its telemetry summary JSON to this file")
 		sweepBench = flag.String("sweepbench", "", "time a fixed sweep serially and in parallel, write the JSON record to this file")
+		quant      = flag.Bool("quant", false, "route inference through the int8-quantized fast path (0.5 dB online quality gate)")
+		anytime    = flag.Duration("anytime", 0, "per-frame anytime-scheduling deadline, e.g. 33ms (0 = off; implies patch-level int8/f32/bilinear mixing)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,8 @@ func main() {
 	o.Seed = *seed
 	o.Traces = *traces
 	o.Duration = *dur
+	o.QuantInt8 = *quant
+	o.AnytimeBudget = *anytime
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -8,20 +8,24 @@ import (
 )
 
 // HotLoopPrecision flags two hot-loop anti-patterns in the numeric kernels:
-// float64⇄float32 conversions inside loops (internal/nn, internal/sr) and
-// per-element At/Set accessor calls inside loops (internal/nn only). Each
-// conversion in the gradient and inference loops costs real time and
-// silently changes accumulation semantics; per-element accessors redo full
-// index arithmetic that row-strided slice access amortises. Hoist the
-// conversion, keep the arithmetic in one precision, index the backing
-// slice by rows — or annotate a deliberate use with
-// //livenas:allow hot-loop-precision.
+// precision-crossing numeric conversions inside loops (internal/nn,
+// internal/sr) and per-element At/Set accessor calls inside loops
+// (internal/nn only). The conversion rule covers float64⇄float32 and, since
+// the int8 inference path landed, sized signed integers (int8/int16/int32)
+// to or from a float — a quantize/dequantize step hiding in a loop body,
+// which belongs in the fused requant epilogue or a hoisted LUT. Plain int
+// (index arithmetic), int64 (counters) and uint8 (pixel I/O, e.g. ToTensor)
+// stay exempt. Per-element accessors redo full index arithmetic that
+// row-strided slice access amortises. Hoist the conversion, keep the
+// arithmetic in one precision, index the backing slice by rows — or
+// annotate a deliberate use with //livenas:allow hot-loop-precision.
 var HotLoopPrecision = &Check{
 	Name: "hot-loop-precision",
-	Doc: "float64⇄float32 conversion or per-element At/Set accessor inside " +
-		"a loop in a numeric kernel package; hoist/unify the precision or " +
-		"use row-strided slice access, or annotate with " +
-		"//livenas:allow hot-loop-precision",
+	Doc: "float64⇄float32 or sized-int⇄float conversion, or per-element " +
+		"At/Set accessor, inside a loop in a numeric kernel package; " +
+		"hoist/unify the precision, fuse the (de)quantization into the " +
+		"kernel epilogue, or use row-strided slice access, or annotate " +
+		"with //livenas:allow hot-loop-precision",
 	Run: runHotLoopPrecision,
 }
 
@@ -99,14 +103,18 @@ func perElementAccessor(p *Pass, call *ast.CallExpr) (string, bool) {
 	return name, true
 }
 
-// crossFloatConversion reports whether call is a float64(float32-expr) or
-// float32(float64-expr) conversion of a non-constant operand.
+// crossFloatConversion reports whether call is a precision-crossing numeric
+// conversion of a non-constant operand: float64⇄float32, or a sized signed
+// integer (int8/int16/int32) to or from a float — the quantization
+// boundary of the int8 kernel path. At least one side must be a float:
+// int16(int32-expr) and friends are plain narrowing, not a precision
+// domain change.
 func crossFloatConversion(p *Pass, call *ast.CallExpr) (from, to string, ok bool) {
 	tv, found := p.Pkg.Info.Types[call.Fun]
 	if !found || !tv.IsType() {
 		return "", "", false
 	}
-	toKind, ok := floatKind(tv.Type)
+	toKind, toFloat, ok := numericKind(tv.Type)
 	if !ok {
 		return "", "", false
 	}
@@ -114,23 +122,33 @@ func crossFloatConversion(p *Pass, call *ast.CallExpr) (from, to string, ok bool
 	if !found || argTV.Value != nil { // constant conversions are free
 		return "", "", false
 	}
-	fromKind, ok := floatKind(argTV.Type)
-	if !ok || fromKind == toKind {
+	fromKind, fromFloat, ok := numericKind(argTV.Type)
+	if !ok || fromKind == toKind || (!fromFloat && !toFloat) {
 		return "", "", false
 	}
 	return fromKind, toKind, true
 }
 
-func floatKind(t types.Type) (string, bool) {
+// numericKind classifies the types the conversion rule cares about: the two
+// float widths and the sized signed integers of the quantized kernels.
+// Plain int, int64, and the unsigned family are deliberately excluded —
+// index arithmetic, counters, and pixel I/O are not precision hazards.
+func numericKind(t types.Type) (kind string, isFloat, ok bool) {
 	basic, ok := t.Underlying().(*types.Basic)
 	if !ok {
-		return "", false
+		return "", false, false
 	}
 	switch basic.Kind() {
 	case types.Float32:
-		return "float32", true
+		return "float32", true, true
 	case types.Float64:
-		return "float64", true
+		return "float64", true, true
+	case types.Int8:
+		return "int8", false, true
+	case types.Int16:
+		return "int16", false, true
+	case types.Int32:
+		return "int32", false, true
 	}
-	return "", false
+	return "", false, false
 }

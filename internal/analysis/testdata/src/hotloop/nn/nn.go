@@ -85,3 +85,48 @@ func referencePath(dst, src *Tensor) {
 		}
 	}
 }
+
+// Quantization-boundary conversions: sized signed ints crossing to or from
+// a float inside a loop are the int8 path's hidden (de)quantize steps.
+func quantize(xs []float32, scale float32, out []int8) {
+	for i, x := range xs {
+		out[i] = int8(x * scale) // want hot-loop-precision
+	}
+}
+
+func dequantize(acc []int32, m float32, out []float32) {
+	for i, a := range acc {
+		out[i] = float32(a) * m // want hot-loop-precision
+	}
+}
+
+func requantNarrow(acc []int32, out []int16) {
+	for i, a := range acc {
+		out[i] = int16(a) // sized-int→sized-int narrowing: ok
+	}
+}
+
+func pixelIO(pix []uint8, out []float32) {
+	for i, v := range pix {
+		out[i] = float32(v) / 255 // uint8→float32 pixel I/O: ok
+	}
+	n := 0
+	for i := range out {
+		out[i] += float32(i)   // int→float32 index arithmetic: ok
+		_ = int64(out[i] * 0)  // float32→int64 counter: ok
+		n += int(out[i] + 0.5) // float32→int: ok
+	}
+	_ = n
+}
+
+// lutBuild hoists the per-value conversion into a 256-entry table on
+// purpose; the directive suppresses the construction-time loop.
+//
+//livenas:allow hot-loop-precision one-time LUT construction, not a per-pixel loop
+func lutBuild(scale float64) [256]int16 {
+	var lut [256]int16
+	for v := range lut {
+		lut[v] = int16(float64(v) * scale)
+	}
+	return lut
+}

@@ -119,6 +119,22 @@ type Config struct {
 	Channels      int            // SR net width (sr.DefaultChannels)
 	TrainCfg      sr.TrainConfig // online-training hyperparameters
 
+	// QuantInt8 routes the server's inference through the int8-quantized
+	// fast path (internal/sr.QuantModel): per-channel symmetric weights,
+	// activation scales from the trainer's calibration statistics, output
+	// guarded by an online quality gate that falls back to f32 when the
+	// sampled int8-vs-f32 PSNR gap exceeds QuantGateDB.
+	QuantInt8 bool
+	// QuantGateDB is the quality gate's PSNR-gap threshold in dB (default
+	// 0.5 when QuantInt8 is set; <= 0 after defaulting keeps quantization
+	// permanently on).
+	QuantGateDB float64
+	// AnytimeBudget is the per-frame inference deadline of the anytime
+	// patch scheduler (0 = off): high-gain patches run f32, the rest int8,
+	// degrading to bilinear passthrough when the Device cost model says the
+	// deadline would be blown.
+	AnytimeBudget time.Duration
+
 	// FunctionalCodec enables the §9 extension the paper flags as future
 	// work: instead of estimating dQvideo/dv from the category's normalized
 	// curve, the client probes the codec directly — encoding the latest
@@ -205,6 +221,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Device == (sr.Device{}) {
 		c.Device = sr.RTX2080Ti()
+	}
+	if c.QuantInt8 && c.QuantGateDB == 0 {
+		c.QuantGateDB = 0.5
 	}
 	if c.MinVideoKbps <= 0 {
 		c.MinVideoKbps = 200

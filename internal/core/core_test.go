@@ -436,3 +436,58 @@ func TestDedicatedPoolJoinedAtSessionEnd(t *testing.T) {
 		t.Fatalf("%d goroutines outlive the session (had %d before); dedicated pool not joined", got, before)
 	}
 }
+
+// TestQuantInt8Session runs one short LiveNAS session through the int8
+// inference fast path and checks the wiring end to end: quantized frames
+// are counted, the online quality gate sampled its patch trickle, and
+// session quality did not collapse.
+func TestQuantInt8Session(t *testing.T) {
+	cfg := defaultTestConfig(vidgen.JustChatting)
+	cfg.Trace = trace.FCCUplink(23, time.Minute, 250)
+	cfg.Duration = 15 * time.Second
+	cfg.QuantInt8 = true
+	r := Run(cfg)
+	if r.FramesDecoded == 0 {
+		t.Fatal("quant session decoded no frames")
+	}
+	reg := r.Telemetry()
+	if n := reg.Counter("sr_quant_patches").Value(); n == 0 {
+		t.Fatal("QuantInt8 session processed no frames on the int8 path")
+	}
+	if n := reg.Histogram("sr_quant_psnr_gap", nil).Count(); n == 0 {
+		t.Fatal("quality gate never sampled the patch trickle")
+	}
+	if r.AvgPSNR < 14 {
+		t.Fatalf("quantized session PSNR %.1f collapsed", r.AvgPSNR)
+	}
+}
+
+// TestAnytimeBudgetSession runs a session under a per-frame anytime
+// deadline and checks the scheduler's accounting: with a realistic budget
+// frames still flow; with an impossible budget every frame records a
+// deadline miss and quality degrades toward the bilinear floor, but the
+// session survives.
+func TestAnytimeBudgetSession(t *testing.T) {
+	run := func(budget time.Duration) *Results {
+		cfg := defaultTestConfig(vidgen.JustChatting)
+		cfg.Trace = trace.FCCUplink(29, time.Minute, 250)
+		cfg.Duration = 12 * time.Second
+		cfg.QuantInt8 = true
+		cfg.AnytimeBudget = budget
+		return Run(cfg)
+	}
+	ok := run(50 * time.Millisecond)
+	if ok.FramesDecoded == 0 {
+		t.Fatal("anytime session decoded no frames")
+	}
+	if n := ok.Telemetry().Counter("infer_deadline_miss").Value(); n != 0 {
+		t.Fatalf("50ms budget missed %d deadlines on a tiny frame", n)
+	}
+	tight := run(time.Nanosecond)
+	if tight.FramesDecoded == 0 {
+		t.Fatal("tight-budget session decoded no frames")
+	}
+	if n := tight.Telemetry().Counter("infer_deadline_miss").Value(); n == 0 {
+		t.Fatal("sub-transfer budget recorded no deadline misses")
+	}
+}

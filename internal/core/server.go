@@ -46,6 +46,12 @@ const (
 	diffSmooth = 0.5
 )
 
+// gateSampleEvery thins the int8 quality gate's patch trickle: one of every
+// N admitted training patches also runs the f32-vs-int8 PSNR comparison.
+// Each probe costs two patch inferences, so sampling keeps the gate's
+// overhead well under one frame-equivalent per second at paper patch rates.
+const gateSampleEvery = 8
+
 // StateChange records a trainer ON/OFF transition (Figure 16 timeline). The
 // server does not keep a timeline of its own: transitions are emitted as
 // trainer_state telemetry events and Results.TrainerTimeline reconstructs
@@ -266,6 +272,15 @@ func newServer(s *sim.Simulator, cfg Config, notify func(serverMsg)) *server {
 	if sv.model != nil {
 		sv.proc = sr.NewProcessor(sv.model, cfg.InferGPUs, cfg.Device)
 		sv.proc.SetTelemetry(sv.reg)
+		if cfg.QuantInt8 {
+			// Schemes without online training (Generic/Pretrained) have no
+			// trainer statistics; EnableQuant then calibrates lazily from
+			// the first processed frame.
+			sv.proc.EnableQuant(sv.model, cfg.QuantGateDB)
+		}
+		if cfg.AnytimeBudget > 0 {
+			sv.proc.SetAnytimeBudget(cfg.AnytimeBudget)
+		}
 	}
 	sv.diffEWMA = 1 // optimistic start: never suspend before real signal
 	sv.emitTrainerState(sv.trainingActive(), telemetry.Str("reason", "start"))
@@ -397,6 +412,13 @@ func (sv *server) onPatch(a transport.Assembled) {
 	if sv.trainer != nil {
 		sv.trainer.AddSample(lr, hr)
 		sv.mPatchesAdmit.Inc()
+		// The same ground-truth pair doubles as the int8 quality gate's
+		// sampled trickle: every gateSampleEvery-th admitted patch compares
+		// int8 vs f32 PSNR online (sr_quant_psnr_gap) and drives the
+		// per-stream fallback decision.
+		if sv.cfg.QuantInt8 && sv.patchesReceived%gateSampleEvery == 0 {
+			sv.proc.ObserveGatePatch(lr, hr)
+		}
 		sv.reg.Emit(sv.s.Now(), "patch_admit",
 			telemetry.Num("frame_id", float64(meta.FrameID)),
 			telemetry.Num("x", float64(meta.X)),

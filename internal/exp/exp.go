@@ -97,6 +97,12 @@ type Options struct {
 	Traces int
 	// Duration overrides the per-session stream length.
 	Duration time.Duration
+	// QuantInt8 routes every session's inference through the int8-quantized
+	// fast path with the default 0.5 dB quality gate (core.Config.QuantInt8).
+	QuantInt8 bool
+	// AnytimeBudget sets the per-frame anytime-scheduling deadline on every
+	// session (0 = off; see core.Config.AnytimeBudget).
+	AnytimeBudget time.Duration
 }
 
 // DefaultOptions returns the fast harness configuration.
@@ -199,6 +205,8 @@ func (o Options) configFor(cat vidgen.Category, native trace.Resolution, scale i
 		MinPatchKbps:  25 * w.kbpsScale * 5,
 		MTU:           w.mtu,
 		PretrainSeed:  99 + o.Seed,
+		QuantInt8:     o.QuantInt8,
+		AnytimeBudget: o.AnytimeBudget,
 	}
 }
 

@@ -30,6 +30,8 @@ type Arena struct {
 	mu      sync.Mutex
 	tensors map[int][]*Tensor
 	bufs    map[int][][]float32
+	bufs16  map[int][][]int16
+	bufs32  map[int][][]int32
 
 	// hits/misses account free-list reuse vs fresh allocation across Get and
 	// GetBuf. Plain atomics rather than telemetry handles: the arena sits on
@@ -51,7 +53,12 @@ func (a *Arena) Stats() (hits, misses int64) {
 
 // NewArena returns an empty arena.
 func NewArena() *Arena {
-	return &Arena{tensors: map[int][]*Tensor{}, bufs: map[int][][]float32{}}
+	return &Arena{
+		tensors: map[int][]*Tensor{},
+		bufs:    map[int][][]float32{},
+		bufs16:  map[int][][]int16{},
+		bufs32:  map[int][][]int32{},
+	}
 }
 
 // Get returns a (c, h, w) tensor, reusing a retired one of the same element
@@ -127,4 +134,78 @@ func (a *Arena) PutBuf(b []float32) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.bufs[len(b)] = append(a.bufs[len(b)], b)
+}
+
+// GetBufI16 returns an int16 scratch buffer of exactly n elements with
+// unspecified contents. The int8 inference path stores quantized
+// activations and im2col panels in int8-in-int16 containers (see quant.go),
+// so these share the arena's ownership rules with the float32 buffers.
+func (a *Arena) GetBufI16(n int) []int16 {
+	if a == nil {
+		return make([]int16, n)
+	}
+	if b := a.popBufI16(n); b != nil {
+		a.hits.Add(1)
+		return b
+	}
+	a.misses.Add(1)
+	return make([]int16, n)
+}
+
+func (a *Arena) popBufI16(n int) []int16 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := a.bufs16[n]
+	if len(free) == 0 {
+		return nil
+	}
+	b := free[len(free)-1]
+	a.bufs16[n] = free[:len(free)-1]
+	return b
+}
+
+// PutBufI16 returns an int16 scratch buffer to the arena.
+func (a *Arena) PutBufI16(b []int16) {
+	if a == nil || b == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bufs16[len(b)] = append(a.bufs16[len(b)], b)
+}
+
+// GetBufI32 returns an int32 scratch buffer of exactly n elements with
+// unspecified contents (GEMM accumulators for the int8 path).
+func (a *Arena) GetBufI32(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if b := a.popBufI32(n); b != nil {
+		a.hits.Add(1)
+		return b
+	}
+	a.misses.Add(1)
+	return make([]int32, n)
+}
+
+func (a *Arena) popBufI32(n int) []int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := a.bufs32[n]
+	if len(free) == 0 {
+		return nil
+	}
+	b := free[len(free)-1]
+	a.bufs32[n] = free[:len(free)-1]
+	return b
+}
+
+// PutBufI32 returns an int32 scratch buffer to the arena.
+func (a *Arena) PutBufI32(b []int32) {
+	if a == nil || b == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bufs32[len(b)] = append(a.bufs32[len(b)], b)
 }

@@ -34,8 +34,8 @@ func convRefForward(l *Conv2D, x, out *Tensor) {
 					dx := kx - pad
 					wv := l.Weight[wbase+ky*l.K+kx]
 					// Valid overlap rows/cols for this kernel tap.
-					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
-					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					y0, y1 := max(0, -dy), min(h, h-dy)
+					x0, x1 := max(0, -dx), min(w, w-dx)
 					for y := y0; y < y1; y++ {
 						srow := src[(y+dy)*w:]
 						drow := dst[y*w:]
@@ -71,8 +71,8 @@ func convRefBackward(l *Conv2D, x, dOut, dIn *Tensor) {
 				dy := ky - pad
 				for kx := 0; kx < l.K; kx++ {
 					dx := kx - pad
-					y0, y1 := maxInt(0, -dy), minInt(h, h-dy)
-					x0, x1 := maxInt(0, -dx), minInt(w, w-dx)
+					y0, y1 := max(0, -dy), min(h, h-dy)
+					x0, x1 := max(0, -dx), min(w, w-dx)
 					var gw float32
 					wv := l.Weight[wbase+ky*l.K+kx]
 					for y := y0; y < y1; y++ {

@@ -1,0 +1,64 @@
+//go:build amd64
+
+package nn
+
+// qkern4x16 is the AVX2 int8 micro-kernel: a 4-row × 16-column int32 C tile
+// accumulated over kk2 tap pairs with vpmaddwd. a points at one wqPack
+// block ([kk2][4][2] int16), b at the tile's first column of panel row 0
+// (rows bn int16 elements apart), c at the tile's first element (rows cn
+// int32 elements apart). Requires AVX2; call only when cpuHasAVX2.
+//
+//go:noescape
+func qkern4x16(kk2 int, a *int16, b *int16, bn int, c *int32, cn int)
+
+// qkern4x8s is the SSE2 pmaddwd fallback micro-kernel: 4 rows × 8 columns,
+// same contract as qkern4x16. Runs on any amd64.
+//
+//go:noescape
+func qkern4x8s(kk2 int, a *int16, b *int16, bn int, c *int32, cn int)
+
+// qrequant is the SSE2 requantReLU body for a multiple-of-8 element count:
+// out[i] = int16(trunc(clamp(acc[i]*m + bh, 0, 127))).
+//
+//go:noescape
+func qrequant(n8 int, acc *int32, m, bh float32, out *int16)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2 reports AVX2 usable: CPU support plus OS-enabled YMM state
+// (OSXSAVE set, XCR0 XMM|YMM bits). Checked once at init; the choice is a
+// pure hardware property, so kernel selection cannot introduce
+// nondeterminism — all int8 kernels are exact integer/clamped-float paths
+// with identical results.
+var cpuHasAVX2 = func() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xlo, _ := xgetbv0()
+	if xlo&6 != 6 { // XMM and YMM state must both be OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}()
+
+func init() {
+	if cpuHasAVX2 {
+		qkernTile, qkernTileCols = qkern4x16, 16
+	} else {
+		qkernTile, qkernTileCols = qkern4x8s, 8
+	}
+	qrequantVec = qrequant
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds run the int8 path entirely through qgemmScalar and the
+// Go requant loop. Integer accumulation and clamped-float requant are exact
+// operations, so results are bit-identical to the amd64 vector kernels.

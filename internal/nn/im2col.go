@@ -40,8 +40,10 @@ func im2col(src []float32, inC, h, w, k, y0, y1 int, flip bool, dst []float32) {
 }
 
 // packShifted writes src shifted by (dy, dx) over rows [y0, y1) into dst,
-// zero-filling samples that fall outside the image.
-func packShifted(src []float32, h, w, y0, y1, dy, dx int, dst []float32) {
+// zero-filling samples that fall outside the image. It is generic over the
+// element type so the int8 path (int8-in-int16 containers, see quant.go)
+// packs its panels with the same copy-speed row shifts as the f32 engine.
+func packShifted[T float32 | int16](src []T, h, w, y0, y1, dy, dx int, dst []T) {
 	for y := y0; y < y1; y++ {
 		drow := dst[(y-y0)*w : (y-y0)*w+w]
 		sy := y + dy
@@ -80,6 +82,43 @@ func packShifted(src []float32, h, w, y0, y1, dy, dx int, dst []float32) {
 			copy(drow[-dx:], srow[:w+dx])
 		}
 	}
+}
+
+// im2colI16 is the int8-path variant of im2col: it packs rows [y0, y1) of a
+// (inC, h, w) channel-major int8-in-int16 activation tensor into dst with
+// the same row layout and the same ascending (ic, ky, kx) tap order, then
+// zero-fills one extra pad row when inC*k*k is odd so the PMADDWD-style
+// micro-kernels can always consume taps in pairs. dst must hold
+// kkEven(inC,k) * (y1-y0)*w elements. No flip variant: the int8 path is
+// inference-only.
+func im2colI16(src []int16, inC, h, w, k, y0, y1 int, dst []int16) {
+	pad := k / 2
+	n := (y1 - y0) * w
+	for ic := 0; ic < inC; ic++ {
+		ch := src[ic*h*w : (ic+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			dy := ky - pad
+			for kx := 0; kx < k; kx++ {
+				dx := kx - pad
+				row := dst[((ic*k+ky)*k+kx)*n : ((ic*k+ky)*k+kx)*n+n]
+				packShifted(ch, h, w, y0, y1, dy, dx, row)
+			}
+		}
+	}
+	if kk := inC * k * k; kk&1 == 1 {
+		pad := dst[kk*n : (kk+1)*n]
+		for i := range pad {
+			pad[i] = 0
+		}
+	}
+}
+
+// kkEven is the tap count of a (inC, k) conv rounded up to even — the row
+// count of the int8 im2col panels and quantized weight matrices, so the
+// pair-wise multiply-add kernels never straddle a row boundary.
+func kkEven(inC, k int) int {
+	kk := inC * k * k
+	return kk + kk&1
 }
 
 // convBlockRows picks the row-block height for an image of width w so one

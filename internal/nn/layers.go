@@ -154,7 +154,7 @@ func (l *Conv2D) forwardBlock(bi int) {
 	h, w := x.H, x.W
 	kk := l.InC * l.K * l.K
 	y0 := bi * l.run.br
-	y1 := minInt(y0+l.run.br, h)
+	y1 := min(y0+l.run.br, h)
 	n := (y1 - y0) * w
 	pack := l.arena.GetBuf(kk * n)
 	apack := l.arena.GetBuf(4 * kk)
@@ -247,7 +247,7 @@ func (l *Conv2D) backwardBlock(bi int) {
 	kk := l.InC * k * k
 	kk2 := l.OutC * k * k
 	y0 := bi * l.run.br
-	y1 := minInt(y0+l.run.br, h)
+	y1 := min(y0+l.run.br, h)
 	n := (y1 - y0) * w
 
 	// Weight-gradient partial for this block: part[oc][kidx] =
@@ -258,7 +258,7 @@ func (l *Conv2D) backwardBlock(bi int) {
 	for oc := 0; oc < l.OutC; oc++ {
 		gv := dOut.Data[oc*h*w+y0*w : oc*h*w+y0*w+n]
 		for r := 0; r < kk; r += 4 {
-			gemmDotRows(gv, pack, n, r, minInt(4, kk-r), part[oc*kk+r:])
+			gemmDotRows(gv, pack, n, r, min(4, kk-r), part[oc*kk+r:])
 		}
 	}
 	l.arena.PutBuf(pack)
@@ -463,18 +463,4 @@ func (p *PixelShuffle) backwardRef(dOut *Tensor, inC, inH, inW int) *Tensor {
 		}
 	}
 	return dIn
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The int8 path's correctness contract (DESIGN.md "Kernel engine"): every
+// kernel variant (vector asm, scalar Go) produces bit-identical int32
+// accumulators — integer math is exact, so this is equality, not
+// tolerance — and the quantized conv tracks the f32 conv within the
+// quantization error bound (rel-L2, checked here per layer; the end-to-end
+// PSNR-gap bound lives in internal/sr).
+
+func randI8(n int, rng *rand.Rand) []int16 {
+	b := make([]int16, n)
+	for i := range b {
+		b[i] = int16(rng.Intn(255) - 127) // full int8 symmetric range
+	}
+	return b
+}
+
+// runScalarOnly computes the reference result via qgemmScalar for all rows.
+func runScalarOnly(wq []int16, b []int16, outC, ke, n int) []int32 {
+	acc := make([]int32, outC*n)
+	qgemmScalar(wq, b, 0, outC, ke, 0, n, acc, n)
+	return acc
+}
+
+func TestQuantGemmMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		outC := 1 + rng.Intn(9)
+		kk := 1 + rng.Intn(80)
+		ke := kk + kk&1
+		n := 1 + rng.Intn(70)
+		wq := randI8(outC*ke, rng)
+		if kk&1 == 1 { // pad tap must be zero, as QuantizeConv2D guarantees
+			for oc := 0; oc < outC; oc++ {
+				wq[oc*ke+kk] = 0
+			}
+		}
+		b := randI8(ke*n, rng)
+		want := runScalarOnly(wq, b, outC, ke, n)
+
+		acc := make([]int32, outC*n)
+		for i := range acc {
+			acc[i] = -1 // canary: every element must be written
+		}
+		gemmInt8Conv(wq, packWqBlocks(wq, outC, ke), b, outC, ke, n, acc, n)
+		for i := range want {
+			if acc[i] != want[i] {
+				t.Fatalf("trial %d (outC=%d kk=%d n=%d tile=%d): acc[%d] = %d, scalar %d",
+					trial, outC, kk, n, qkernTileCols, i, acc[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRequantReLUVecMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	saved := qrequantVec
+	defer func() { qrequantVec = saved }()
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		acc := make([]int32, n)
+		for i := range acc {
+			// Span negatives, zero crossings and clamp-overflow magnitudes.
+			acc[i] = int32(rng.Intn(1<<22) - 1<<21)
+		}
+		m := float32(rng.Float64() * 0.001)
+		bh := float32(rng.Float64()*4-2) + 0.5
+
+		qrequantVec = nil
+		want := make([]int16, n)
+		requantReLU(acc, m, bh, want)
+
+		qrequantVec = saved
+		got := make([]int16, n)
+		requantReLU(acc, m, bh, got)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d n=%d: requant[%d] vec %d go %d (acc=%d m=%g bh=%g)",
+					trial, n, i, got[i], want[i], acc[i], m, bh)
+			}
+			if want[i] < 0 || want[i] > 127 {
+				t.Fatalf("requant[%d] = %d outside [0,127]", i, want[i])
+			}
+		}
+	}
+}
+
+// TestQuantGemmScalarFallbackMatches pins that the pure-Go configuration
+// (qkernTile nil, as on non-amd64 builds) routes through qgemmScalar and
+// agrees with the vector drivers bit for bit.
+func TestQuantGemmScalarFallbackMatches(t *testing.T) {
+	savedK, savedC := qkernTile, qkernTileCols
+	defer func() { qkernTile, qkernTileCols = savedK, savedC }()
+
+	rng := rand.New(rand.NewSource(13))
+	outC, kk, n := 8, 72, 100
+	ke := kk
+	wq := randI8(outC*ke, rng)
+	b := randI8(ke*n, rng)
+
+	got := make([]int32, outC*n)
+	gemmInt8Conv(wq, packWqBlocks(wq, outC, ke), b, outC, ke, n, got, n)
+
+	qkernTile, qkernTileCols = nil, 0
+	want := make([]int32, outC*n)
+	gemmInt8Conv(wq, packWqBlocks(wq, outC, ke), b, outC, ke, n, want, n)
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("acc[%d]: kernel %d, generic %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantConvDifferential bounds the per-layer quantization error: the
+// int8 conv (quantized weights and input, exact accumulation, dequant
+// epilogue) must track the f32 conv on the same input within a small
+// rel-L2. Inputs model a quantized activation plane: int8 codes with scale
+// 1/127, i.e. values in [0, 1].
+func TestQuantConvDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	arena := NewArena()
+	for trial := 0; trial < 10; trial++ {
+		inC := 1 + rng.Intn(8)
+		outC := 1 + rng.Intn(8)
+		k := 1 + 2*rng.Intn(2)
+		h := 4 + rng.Intn(30)
+		w := 4 + rng.Intn(30)
+		l := NewConv2D(inC, outC, k, rng)
+		q := QuantizeConv2D(l)
+
+		const xScale = 1.0 / 127
+		xq := make([]int16, inC*h*w)
+		x := NewTensor(inC, h, w)
+		for i := range xq {
+			xq[i] = int16(rng.Intn(128)) // ReLU-positive activation codes
+			x.Data[i] = float32(xq[i]) * xScale
+		}
+
+		// f32 reference on the *dequantized* input isolates the weight
+		// quantization + epilogue error this test bounds.
+		l.SetKernelContext(nil, nil)
+		want := l.Forward(x)
+
+		m := make([]float32, outC)
+		for oc := range m {
+			m[oc] = q.ScaleW[oc] * xScale
+		}
+		got := make([]float32, outC*h*w)
+		q.ForwardDequant(arena, xq, h, w, m, q.Bias, got)
+
+		var num, den float64
+		for i := range got {
+			d := float64(got[i] - want.Data[i])
+			num += d * d
+			den += float64(want.Data[i]) * float64(want.Data[i])
+		}
+		rel := math.Sqrt(num / (den + 1e-12))
+		if rel > 0.02 {
+			t.Fatalf("trial %d (%d->%d k=%d %dx%d): int8 vs f32 rel-L2 %.4f > 0.02",
+				trial, inC, outC, k, h, w, rel)
+		}
+	}
+}
+
+// TestQuantForwardRequantZeroAlloc pins the 0 allocs/op arena contract on
+// the fused requant path once the arena is warm.
+func TestQuantForwardRequantZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	arena := NewArena()
+	l := NewConv2D(8, 8, 3, rng)
+	q := QuantizeConv2D(l)
+	h, w := 32, 48
+	xq := randI8(8*h*w, rng)
+	m := make([]float32, 8)
+	bh := make([]float32, 8)
+	for i := range m {
+		m[i] = q.ScaleW[i] / 127
+		bh[i] = q.Bias[i] + 0.5
+	}
+	out := make([]int16, 8*h*w)
+	q.ForwardRequant(arena, xq, h, w, m, bh, out) // warm the arena
+	allocs := testing.AllocsPerRun(10, func() {
+		q.ForwardRequant(arena, xq, h, w, m, bh, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardRequant allocates %v/op, want 0", allocs)
+	}
+}

@@ -76,3 +76,42 @@ func BenchmarkInference1080p(b *testing.B) {
 	b.Run("kernel", func(b *testing.B) { benchInference1080p(b, false) })
 	b.Run("ref", func(b *testing.B) { benchInference1080p(b, true) })
 }
+
+// benchInferenceQuant pits the int8-quantized path ("kernel") against the
+// f32 GEMM engine ("ref") on the same frame. Unlike the benches above, the
+// baseline here is the *fast* f32 path, not the scalar seed — the tracked
+// speedup is the quantization win on top of the optimised engine.
+func benchInferenceQuant(b *testing.B, w, h int, quant bool) {
+	m := NewModel(2, 0, 1)
+	rng := rand.New(rand.NewSource(5))
+	lr := randFrame(w, h, rng)
+	b.SetBytes(4 * modelMACs(m, w*h))
+	b.ReportAllocs()
+	if quant {
+		q := NewQuantModel(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.SuperResolve(lr)
+		}
+		return
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SuperResolve(lr)
+	}
+}
+
+// BenchmarkInference1080pInt8 is the 960×540→1080p geometry of
+// BenchmarkInference1080p on the int8 fast path.
+func BenchmarkInference1080pInt8(b *testing.B) {
+	b.Run("kernel", func(b *testing.B) { benchInferenceQuant(b, 960, 540, true) })
+	b.Run("ref", func(b *testing.B) { benchInferenceQuant(b, 960, 540, false) })
+}
+
+// BenchmarkInference4K super-resolves 1920×1080 to 3840×2160 — the paper's
+// hardest real-time target (Table 2's 4K rows) and the motivation for the
+// quantized path.
+func BenchmarkInference4K(b *testing.B) {
+	b.Run("kernel", func(b *testing.B) { benchInferenceQuant(b, 1920, 1080, true) })
+	b.Run("ref", func(b *testing.B) { benchInferenceQuant(b, 1920, 1080, false) })
+}

@@ -31,6 +31,22 @@ type Device struct {
 	// (fp16, §7 "training uses single-precision ... inference with
 	// half-precision").
 	TrainFactor float64
+	// Int8Factor is the compute-cost multiplier of int8-quantized inference
+	// relative to the f32 path (dp4a/imma-style tensor throughput; < 1).
+	// Zero or out-of-range values fall back to the default 0.45.
+	Int8Factor float64
+}
+
+// defaultInt8Factor matches the measured advantage of the int8 kernel path
+// (BENCH_kernels.json inference_1080p_int8) and typical int8-vs-fp16 GPU
+// tensor throughput ratios.
+const defaultInt8Factor = 0.45
+
+func (d Device) int8Factor() float64 {
+	if d.Int8Factor <= 0 || d.Int8Factor > 1 {
+		return defaultInt8Factor
+	}
+	return d.Int8Factor
 }
 
 // RTX2080Ti returns the device model used throughout the evaluation
@@ -42,6 +58,7 @@ func RTX2080Ti() Device {
 		TransferNS:       3e6,
 		StitchNS:         2.5e6,
 		TrainFactor:      15,
+		Int8Factor:       defaultInt8Factor,
 	}
 }
 
@@ -50,20 +67,39 @@ func RTX2080Ti() Device {
 // transfer, per-strip compute (perfectly parallel across strips), and
 // stitching. scale 1 models the bilinear-only fallback row of Table 2.
 func (d Device) InferenceTime(inW, inH, scale, gpus int) time.Duration {
+	return d.inferenceTime(inW, inH, scale, gpus, false)
+}
+
+// InferenceTimeQuant is InferenceTime for the int8-quantized inference path:
+// the SR compute is scaled by Int8Factor; transfer and stitch are unchanged.
+func (d Device) InferenceTimeQuant(inW, inH, scale, gpus int) time.Duration {
+	return d.inferenceTime(inW, inH, scale, gpus, true)
+}
+
+func (d Device) inferenceTime(inW, inH, scale, gpus int, quant bool) time.Duration {
 	if gpus < 1 {
 		gpus = 1
 	}
-	inPix := float64(inW * inH)
-	outPix := inPix * float64(scale*scale)
-	var compute float64
-	if scale == 1 {
-		// Bilinear upsample only: cheap memory-bound pass.
-		compute = outPix * 1.0
-	} else {
-		compute = inPix*d.PerInputPixelNS + outPix*d.PerOutputPixelNS
-	}
+	compute := d.PatchComputeNS(inW, inH, scale, quant)
 	ns := d.TransferNS + compute/float64(gpus) + float64(gpus-1)*d.StitchNS
 	return time.Duration(ns)
+}
+
+// PatchComputeNS returns the compute-only cost (no transfer/stitch) of
+// super-resolving a wLR x hLR region by the given scale — the unit the
+// anytime patch scheduler budgets with. scale 1 models bilinear-only cost.
+func (d Device) PatchComputeNS(wLR, hLR, scale int, quant bool) float64 {
+	inPix := float64(wLR * hLR)
+	outPix := inPix * float64(scale*scale)
+	if scale == 1 {
+		// Bilinear upsample only: cheap memory-bound pass.
+		return outPix * 1.0
+	}
+	compute := inPix*d.PerInputPixelNS + outPix*d.PerOutputPixelNS
+	if quant {
+		compute *= d.int8Factor()
+	}
+	return compute
 }
 
 // TrainSampleTime returns the simulated cost of one training sample whose

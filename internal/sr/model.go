@@ -59,6 +59,13 @@ type Model struct {
 	// Processor.Sync read-locks the source model while copying weights
 	// out at epoch boundaries.
 	mu sync.RWMutex
+
+	// calibMax holds running maxima of the two hidden ReLU activations,
+	// the activation-scale calibration the int8 path quantizes with (see
+	// quant.go). Fed by the trainer's gradient contexts (every training
+	// sample doubles as a calibration probe) and by explicit Calibrate
+	// calls; zero means "never calibrated". Guarded by mu.
+	calibMax [2]float32
 }
 
 // NewModel creates a model for the given integer scale factor (>= 1).
@@ -265,6 +272,66 @@ func (m *Model) SuperResolve(lr *frame.Frame) *frame.Frame {
 	return out
 }
 
+// Calibrate runs f32 forward passes over the given frames, folding the
+// hidden ReLU activation maxima into the model's calibration statistics.
+// The trainer feeds these statistics continuously from its minibatches;
+// Calibrate exists for models that never train (generic/pretrained
+// baselines) and for tests — one representative frame is enough to seed
+// usable int8 activation scales.
+func (m *Model) Calibrate(frames []*frame.Frame) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ref := nn.RefKernels()
+	for _, f := range frames {
+		in := m.arena.Get(1, f.H, f.W)
+		for i, v := range f.Pix {
+			in.Data[i] = float32(v) / 255
+		}
+		h := in
+		for i, l := range m.layers {
+			out := l.Forward(h)
+			if out != h {
+				m.live = append(m.live, out)
+			}
+			h = out
+			if i == 1 || i == 3 {
+				m.calibMax[i/2] = maxSlice(h.Data, m.calibMax[i/2])
+			}
+		}
+		m.releaseLive()
+		if !ref {
+			m.arena.Put(in)
+		}
+	}
+}
+
+// calibStats returns the calibration maxima. Zero values mean the model has
+// never been calibrated (quantization then falls back to the input scale).
+func (m *Model) calibStats() [2]float32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.calibMax
+}
+
+// foldCalib merges activation maxima into the calibration statistics.
+// Caller must hold m.mu (the trainer holds the master write lock for the
+// whole step). Max is commutative and associative, so the fold order cannot
+// affect the result — calibration stays deterministic for any pool size.
+func (m *Model) foldCalib(am [2]float32) {
+	m.calibMax[0] = max(m.calibMax[0], am[0])
+	m.calibMax[1] = max(m.calibMax[1], am[1])
+}
+
+// maxSlice returns the max of seed and all elements of s.
+func maxSlice(s []float32, seed float32) float32 {
+	for _, v := range s {
+		if v > seed {
+			seed = v
+		}
+	}
+	return seed
+}
+
 // gradCtx is a per-sample gradient context: a layer chain sharing the
 // parent model's weight slices (live, not copied) but owning private
 // gradient accumulators and activation caches. The trainer runs one
@@ -277,6 +344,12 @@ type gradCtx struct {
 	layers []nn.Layer
 	params []nn.Param
 	live   []*nn.Tensor
+
+	// actMax records the hidden ReLU activation maxima of the most recent
+	// sampleGrad call — free calibration probes for the int8 path, folded
+	// into Model.calibMax by the trainer after each shard (max fold, so
+	// deterministic regardless of execution order).
+	actMax [2]float32
 }
 
 // gradContexts returns at least n cached gradient contexts, creating any
@@ -306,13 +379,17 @@ func (m *Model) gradContexts(n int) []*gradCtx {
 // sample's gradient in the context's private accumulators, and returns the
 // sample's loss.
 func (g *gradCtx) sampleGrad(s Sample) float64 {
+	g.actMax = [2]float32{}
 	h := s.LR
-	for _, l := range g.layers {
+	for i, l := range g.layers {
 		out := l.Forward(h)
 		if out != h {
 			g.live = append(g.live, out)
 		}
 		h = out
+		if i == 1 || i == 3 {
+			g.actMax[i/2] = maxSlice(h.Data, 0)
+		}
 	}
 	grad := g.arena.Get(h.C, h.H, h.W)
 	loss := nn.MSELossGradInto(h, s.Res, grad)

@@ -150,6 +150,66 @@ func TestConcurrentKernelPoolStress(t *testing.T) {
 	wg.Wait()
 }
 
+// TestConcurrentQuantStress exercises the int8 fast path under churn: the
+// trainer updates weights (and calibration statistics), Sync rebuilds the
+// quantized snapshot, strip-parallel quantized inference and the anytime
+// scheduler run against it, and the quality gate samples patches — all
+// concurrently on a shared multi-worker kernel pool. Under -race this pins
+// down that quantized snapshots, the quant arena, and the gate state are
+// data-race-free.
+func TestConcurrentQuantStress(t *testing.T) {
+	model := NewModel(2, 4, 1)
+	pool := nn.NewPool(4)
+	defer pool.Close()
+	model.SetKernelPool(pool)
+	trainer := newStressTrainer(t, model)
+	proc := NewProcessor(model, 2, RTX2080Ti())
+	proc.EnableQuant(model, 0.5)
+
+	in := frame.New(96, 64)
+	fillTestFrame(in, 11)
+	hr := frame.New(192, 128)
+	fillTestFrame(hr, 13)
+
+	const iters = 12
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			trainer.Epoch()
+		}
+	}()
+	go func() { // epoch-boundary sync rebuilds the int8 snapshot
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			proc.Sync(model)
+		}
+	}()
+	go func() { // quantized whole-frame + anytime patch-scheduled inference
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 1 {
+				proc.SetAnytimeBudget(mixedBudget(RTX2080Ti(), in))
+			} else {
+				proc.SetAnytimeBudget(0)
+			}
+			out, _ := proc.Process(in)
+			if out.W != in.W*2 || out.H != in.H*2 {
+				t.Errorf("Process returned %dx%d, want %dx%d", out.W, out.H, in.W*2, in.H*2)
+				return
+			}
+		}
+	}()
+	go func() { // online quality gate sampling
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			proc.ObserveGatePatch(in, hr)
+		}
+	}()
+	wg.Wait()
+}
+
 func TestConcurrentSnapshotWhileTraining(t *testing.T) {
 	model := NewModel(2, 4, 1)
 	trainer := newStressTrainer(t, model)

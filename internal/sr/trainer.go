@@ -322,6 +322,9 @@ func (t *Trainer) shardGrad(m *Model, idx []int) float64 {
 	var loss float64
 	mp := m.Params()
 	for k := range idx {
+		// Every training sample doubles as an int8 activation-scale
+		// calibration probe (the caller holds the master's write lock).
+		m.foldCalib(ctxs[k].actMax)
 		for pi := range mp {
 			dst := mp[pi].Grad
 			for j, v := range ctxs[k].params[pi].Grad {

@@ -65,8 +65,8 @@ trap 'rm -f "$TMP"' EXIT
 echo "== bench: internal/nn conv kernels" >&2
 go test -run '^$' -bench 'BenchmarkConvForward$|BenchmarkConvBackward$' \
     -benchmem "${NN_ARGS[@]}" ./internal/nn | tee -a "$TMP" >&2
-echo "== bench: internal/sr train epoch + 1080p inference" >&2
-go test -run '^$' -bench 'BenchmarkTrainEpoch$|BenchmarkInference1080p$' \
+echo "== bench: internal/sr train epoch + inference (1080p f32/int8, 4K)" >&2
+go test -run '^$' -bench 'BenchmarkTrainEpoch$|BenchmarkInference1080p$|BenchmarkInference1080pInt8$|BenchmarkInference4K$' \
     -benchmem "${SR_ARGS[@]}" ./internal/sr | tee -a "$TMP" >&2
 
 awk -v goversion="$(go version | awk '{print $3}')" -v short="$SHORT" '
@@ -92,16 +92,19 @@ END {
     map["ConvBackward"] = "conv_backward"
     map["TrainEpoch"] = "train_epoch"
     map["Inference1080p"] = "inference_1080p"
+    map["Inference1080pInt8"] = "inference_1080p_int8"
+    map["Inference4K"] = "inference_4k"
     order[1] = "ConvForward"; order[2] = "ConvBackward"
     order[3] = "TrainEpoch"; order[4] = "Inference1080p"
+    order[5] = "Inference1080pInt8"; order[6] = "Inference4K"
     printf "{\n"
     printf "  \"generated_by\": \"scripts/bench.sh\",\n"
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"short\": %s,\n", short ? "true" : "false"
-    printf "  \"note\": \"kernel = im2col/GEMM engine, ref = scalar baseline (same binary, SetRefKernels); speedup = ref_ns/kernel_ns; allocs_reduction = ref_allocs/kernel_allocs, 999999 when the kernel path allocates zero\",\n"
+    printf "  \"note\": \"kernel = im2col/GEMM engine, ref = scalar baseline (same binary, SetRefKernels); for the int8 benches (inference_1080p_int8, inference_4k) kernel = int8-quantized path and ref = the f32 GEMM engine, so their speedup is the quantization win on top of the optimised path; speedup = ref_ns/kernel_ns; allocs_reduction = ref_allocs/kernel_allocs, 999999 when the kernel path allocates zero\",\n"
     printf "  \"benches\": {\n"
     nout = 0
-    for (oi = 1; oi <= 4; oi++) {
+    for (oi = 1; oi <= 6; oi++) {
         b = order[oi]
         if (!(b in seen)) continue
         kk = b ".kernel"; rk = b ".ref"
@@ -117,8 +120,8 @@ END {
         printf "    }"
     }
     printf "\n  }\n}\n"
-    if (nout != 4) {
-        print "bench.sh: expected 4 benchmarks, parsed " nout > "/dev/stderr"
+    if (nout != 6) {
+        print "bench.sh: expected 6 benchmarks, parsed " nout > "/dev/stderr"
         exit 1
     }
 }

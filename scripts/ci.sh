@@ -95,6 +95,12 @@ if [[ "$TIER" == "fast" ]]; then
         -j "$(nproc)" -cache-dir "${VET_CACHE:-$HOME/.cache/livenas-vet}" -stats \
         -baseline analysis/baseline.json ./...
     step "go test -short" go test -short ./...
+    # The int8 fast path's correctness contract, run by name so a test
+    # rename or build-tag slip can't silently drop it from the blocking
+    # tier: kernel-vs-scalar and int8-vs-f32 differentials plus the
+    # byte-identical strip/cell determinism pins.
+    step "int8 differential + determinism" go test \
+        -run 'TestQuant|TestAnytime|TestRequant' ./internal/nn ./internal/sr
     # One real figure sweep through the concurrent engine: catches worker /
     # cache / ordering regressions the unit tests can't see end to end.
     step "sweep smoke" go run ./cmd/livenas-bench -fig fig23 -parallel 4 -dur 20s -traces 1
@@ -103,7 +109,9 @@ else
     step "go build" go build ./...
     step "livenas-vet (cold)" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test" go test ./...
-    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep
+    # internal/nn rides along for the int8/strip-parallel kernel stress;
+    # internal/sr's stress set includes the quantized-path churn test.
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/nn ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep
     if [[ "$FUZZTIME" != "0" ]]; then
         step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
         step "fuzz codec ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec
