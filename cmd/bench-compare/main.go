@@ -78,6 +78,9 @@ func main() {
 		vet       = flag.Bool("vet", false, "gate the vet engine's warm-cache speedup instead of the kernel benches")
 		vetBase   = flag.String("vet-baseline", "BENCH_vet.json", "committed vet-engine baseline JSON")
 		vetCur    = flag.String("vet-current", "", "pre-recorded livenas-vet -bench JSON to compare (default: run one)")
+		fleet     = flag.Bool("fleet", false, "gate the fleet plan's throughput and admission determinism instead of the kernel benches")
+		fleetBase = flag.String("fleet-baseline", "BENCH_fleet.json", "committed fleet baseline JSON")
+		fleetCur  = flag.String("fleet-current", "", "pre-recorded fleetbench JSON to compare (default: run cmd/livenas-bench -fleetbench)")
 	)
 	flag.Parse()
 
@@ -100,6 +103,14 @@ func main() {
 	if *vet {
 		if err := vetGate(*vetBase, *vetCur, *threshold, *retries); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-compare: vet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleet {
+		if err := fleetGate(*fleetBase, *fleetCur, *threshold, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: fleet: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -422,6 +433,115 @@ func vetGate(basePath, curPath string, threshold float64, retries int) error {
 	}
 	if cur.ParallelSpeedup < parallelWant {
 		return fmt.Errorf("parallel speedup x%.2f below floor x%.2f (baseline x%.2f)", cur.ParallelSpeedup, parallelWant, base.ParallelSpeedup)
+	}
+	return nil
+}
+
+// fleetRecord mirrors cmd/livenas-bench's -fleetbench JSON (BENCH_fleet.json).
+type fleetRecord struct {
+	Schema      int     `json:"schema"`
+	Streams     int     `json:"streams"`
+	GPUs        int     `json:"gpus"`
+	Sessions    int     `json:"sessions"`
+	Workers     int     `json:"workers"`
+	SerialS     float64 `json:"serial_s"`
+	ParallS     float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	SerialSPS   float64 `json:"sessions_per_sec_serial"`
+	ParallelSPS float64 `json:"sessions_per_sec_parallel"`
+	AdmitP99MS  float64 `json:"admit_p99_ms"`
+}
+
+func readFleetRecord(path string) (*fleetRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r fleetRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Streams <= 0 || r.Sessions <= 0 || r.SerialS <= 0 || r.ParallS <= 0 || r.Speedup <= 0 {
+		return nil, fmt.Errorf("%s: non-positive fleet figures: %+v", path, r)
+	}
+	return &r, nil
+}
+
+// currentFleet loads path, or records a fresh fleetbench run when empty.
+// The streams/GPUs shape is pinned to the baseline's so both sides time the
+// same plan.
+func currentFleet(path string, base *fleetRecord) (*fleetRecord, error) {
+	if path != "" {
+		return readFleetRecord(path)
+	}
+	tmp, err := os.CreateTemp("", "fleet_current_*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	cmd := exec.Command("go", "run", "./cmd/livenas-bench",
+		"-fleet", strconv.Itoa(base.Streams), "-gpus", strconv.Itoa(base.GPUs),
+		"-fleetbench", tmp.Name())
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("livenas-bench -fleetbench: %w", err)
+	}
+	return readFleetRecord(tmp.Name())
+}
+
+// fleetGate compares the fleet plan's execution against the committed
+// baseline on two axes. The parallel speedup (sessions/sec at NumCPU
+// workers over workers=1) is gated like the sweep record — baseline capped
+// at this host's cores, threshold noise allowed, skipped on a single core.
+// The virtual-time p99 admission latency is pure simulated time, so it must
+// match the baseline exactly on every host: a mismatch means the admission
+// plan itself changed (or went nondeterministic), not that the host is slow.
+func fleetGate(basePath, curPath string, threshold float64, retries int) error {
+	base, err := readFleetRecord(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := currentFleet(curPath, base)
+	if err != nil {
+		return err
+	}
+	if cur.AdmitP99MS != base.AdmitP99MS {
+		return fmt.Errorf("admission p99 %.3fms differs from baseline %.3fms: the virtual admission plan changed (simulated time cannot be host-dependent)",
+			cur.AdmitP99MS, base.AdmitP99MS)
+	}
+	if cur.Sessions != base.Sessions {
+		return fmt.Errorf("plan admitted %d sessions, baseline %d", cur.Sessions, base.Sessions)
+	}
+	cores := runtime.NumCPU()
+	if cores < 2 {
+		fmt.Printf("fleet gate: admission plan matches baseline (p99 %.0fms, %d sessions); single-core host, parallel speedup unmeasurable; skipping\n",
+			base.AdmitP99MS, base.Sessions)
+		return nil
+	}
+	want := base.Speedup
+	if lim := float64(cores); want > lim {
+		want = lim
+	}
+	want *= 1 - threshold
+	for attempt := 0; cur.Speedup < want && attempt < retries && curPath == ""; attempt++ {
+		fmt.Printf("fleet gate: speedup x%.2f below x%.2f, retrying (wall-clock runs are noisy)\n",
+			cur.Speedup, want)
+		again, err := currentFleet("", base)
+		if err != nil {
+			return fmt.Errorf("retry: %w", err)
+		}
+		if again.AdmitP99MS != base.AdmitP99MS {
+			return fmt.Errorf("admission p99 %.3fms differs from baseline %.3fms on retry", again.AdmitP99MS, base.AdmitP99MS)
+		}
+		if again.Speedup > cur.Speedup {
+			cur = again
+		}
+	}
+	fmt.Printf("fleet gate: %d streams / %d GPUs, %d sessions, %d workers: %.2f -> %.2f sessions/s = x%.2f (baseline x%.2f, floor x%.2f); admit p99 %.0fms matches\n",
+		cur.Streams, cur.GPUs, cur.Sessions, cur.Workers, cur.SerialSPS, cur.ParallelSPS, cur.Speedup, base.Speedup, want, cur.AdmitP99MS)
+	if cur.Speedup < want {
+		return fmt.Errorf("parallel fleet speedup x%.2f below floor x%.2f", cur.Speedup, want)
 	}
 	return nil
 }

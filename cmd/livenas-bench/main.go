@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"livenas/internal/exp"
+	"livenas/internal/fleet"
 	"livenas/internal/sweep"
 	"livenas/internal/telemetry"
 )
@@ -43,6 +44,9 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "session-result cache directory (empty = no cache)")
 		summary    = flag.String("summary", "", "run one representative LiveNAS session and write its telemetry summary JSON to this file")
 		sweepBench = flag.String("sweepbench", "", "time a fixed sweep serially and in parallel, write the JSON record to this file")
+		fleetN     = flag.Int("fleet", 0, "fleet experiment streamer count N (0 = default 6)")
+		gpus       = flag.Int("gpus", 0, "fleet experiment GPU-pool size M (0 = default 2)")
+		fleetBench = flag.String("fleetbench", "", "time the fixed fleet plan serially and in parallel, write the JSON record to this file")
 		quant      = flag.Bool("quant", false, "route inference through the int8-quantized fast path (0.5 dB online quality gate)")
 		anytime    = flag.Duration("anytime", 0, "per-frame anytime-scheduling deadline, e.g. 33ms (0 = off; implies patch-level int8/f32/bilinear mixing)")
 	)
@@ -55,6 +59,8 @@ func main() {
 	o.Duration = *dur
 	o.QuantInt8 = *quant
 	o.AnytimeBudget = *anytime
+	o.FleetStreams = *fleetN
+	o.FleetGPUs = *gpus
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -79,6 +85,11 @@ func main() {
 			*summary, s.Scheme, s.TrainerDutyCycle, s.InferP50MS)
 	case *sweepBench != "":
 		if err := runSweepBench(ctx, *sweepBench, o, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *fleetBench != "":
+		if err := runFleetBench(ctx, *fleetBench, o, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -187,5 +198,79 @@ func runSweepBench(ctx context.Context, path string, o exp.Options, workers int)
 	}
 	fmt.Printf("sweep bench: %d sessions, serial %.2fs, parallel(%d) %.2fs, speedup x%.2f -> %s\n",
 		rec.Sessions, rec.SerialS, rec.Workers, rec.ParallS, rec.Speedup, path)
+	return nil
+}
+
+// fleetBenchRecord is the JSON layout of BENCH_fleet.json: the serial and
+// parallel wall clock of executing the same fixed fleet admission plan,
+// plus the plan's virtual-time p99 admission latency. AdmitP99MS is pure
+// simulated time — identical on every host — so cmd/bench-compare checks
+// it for exact equality (a cross-host determinism pin), while the speedup
+// ratio is gated with noise tolerance like the sweep record.
+type fleetBenchRecord struct {
+	Schema      int     `json:"schema"`
+	Streams     int     `json:"streams"`
+	GPUs        int     `json:"gpus"`
+	Sessions    int     `json:"sessions"`
+	Workers     int     `json:"workers"`
+	SerialS     float64 `json:"serial_s"`
+	ParallS     float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	SerialSPS   float64 `json:"sessions_per_sec_serial"`
+	ParallelSPS float64 `json:"sessions_per_sec_parallel"`
+	AdmitP99MS  float64 `json:"admit_p99_ms"`
+}
+
+// runFleetBench executes exp.FleetBenchPlan with one worker and with the
+// full worker set, then writes the record to path.
+//
+//livenas:allow determinism-taint wall-clock benchmark record; never feeds results
+func runFleetBench(ctx context.Context, path string, o exp.Options, workers int) error {
+	run := func(w int) (time.Duration, *fleet.Plan, int, error) {
+		p, err := exp.FleetBenchPlan(o)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		start := time.Now()
+		r := sweep.New(ctx, sweep.Options{Workers: w})
+		p.Submit(r)
+		if err := p.Collect(); err != nil {
+			return 0, nil, 0, err
+		}
+		return time.Since(start), p, r.Stats().Workers, nil
+	}
+	// Serial first warms process-wide lazy state, like runSweepBench.
+	serial, plan, _, err := run(1)
+	if err != nil {
+		return err
+	}
+	parallel, _, nworkers, err := run(workers)
+	if err != nil {
+		return err
+	}
+	st := plan.Stats()
+	sessions := st.Admitted + st.Degraded
+	rec := fleetBenchRecord{
+		Schema:      1,
+		Streams:     st.Streams,
+		GPUs:        plan.M.Pool().Total(),
+		Sessions:    sessions,
+		Workers:     nworkers,
+		SerialS:     serial.Seconds(),
+		ParallS:     parallel.Seconds(),
+		Speedup:     serial.Seconds() / parallel.Seconds(),
+		SerialSPS:   float64(sessions) / serial.Seconds(),
+		ParallelSPS: float64(sessions) / parallel.Seconds(),
+		AdmitP99MS:  float64(st.AdmitP99) / float64(time.Millisecond),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fleet bench: %d streams on %d GPUs, %d sessions, serial %.2fs, parallel(%d) %.2fs, speedup x%.2f, admit p99 %.0fms -> %s\n",
+		rec.Streams, rec.GPUs, rec.Sessions, rec.SerialS, rec.Workers, rec.ParallS, rec.Speedup, rec.AdmitP99MS, path)
 	return nil
 }

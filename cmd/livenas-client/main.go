@@ -25,6 +25,7 @@ func main() {
 		kbps     = flag.Float64("kbps", 400, "video bitrate")
 		cat      = flag.String("category", "JC", "content category (LoL, JC, WoW, EFT, FN, PC, SP, LE, FC)")
 		seed     = flag.Int64("seed", 7, "session seed")
+		channel  = flag.String("channel", "demo", "channel key identifying this stream to the server")
 	)
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 	ingestW, ingestH := nativeW/scale, nativeH/scale
 	if err := wire.Write(conn, &wire.Message{
 		Type:    wire.MsgHello,
+		Channel: *channel,
 		IngestW: ingestW, IngestH: ingestH,
 		NativeW: nativeW, NativeH: nativeH,
 		FPS: *fps,
@@ -56,15 +58,21 @@ func main() {
 		log.Fatalf("hello: %v", err)
 	}
 
-	// Drain server stats in the background.
+	// Drain server stats in the background; a MsgBye here is the server
+	// refusing admission (duplicate channel key or saturated GPU pool).
 	go func() {
 		for {
 			m, err := wire.Read(conn)
 			if err != nil {
 				return
 			}
-			if m.Type == wire.MsgStats {
+			switch m.Type {
+			case wire.MsgStats:
 				log.Printf("server: epoch %d, SR gain %+.2f dB (%d samples)", m.Epochs, m.GainDB, m.Samples)
+			case wire.MsgBye:
+				log.Fatalf("server refused channel %q: %s", *channel, m.Reason)
+			default:
+				// Hello/video/patch flow client→server only; ignore echoes.
 			}
 		}
 	}()

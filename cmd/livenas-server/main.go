@@ -1,22 +1,28 @@
 // Command livenas-server runs a LiveNAS media server over real TCP: it
-// accepts one ingest connection, decodes the incoming stream, trains the
+// accepts ingest connections keyed by channel (the RTMP stream-key
+// analogue), decodes each incoming stream, trains that stream's
 // super-resolution DNN online on the client's high-quality patches, applies
 // it to the decoded frames, and reports the measured SR gain back to the
-// client every training epoch.
+// client every training epoch. Admission is controlled against a simulated
+// GPU pool of -gpus slots: a hello that would oversubscribe the pool (or
+// reuse a live channel key) is refused with a MsgBye carrying the reason.
 //
 // Pair it with cmd/livenas-client on the same machine:
 //
-//	livenas-server -listen :9455 &
-//	livenas-client -connect 127.0.0.1:9455 -duration 20s
+//	livenas-server -listen :9455 -once=false -gpus 2 &
+//	livenas-client -connect 127.0.0.1:9455 -channel alice -duration 20s &
+//	livenas-client -connect 127.0.0.1:9455 -channel bob -duration 20s
 package main
 
 import (
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on the debug listener's mux
+	"sync"
 	"time"
 
 	"livenas/internal/codec"
@@ -32,6 +38,7 @@ func main() {
 		listen   = flag.String("listen", ":9455", "TCP listen address")
 		epochLen = flag.Duration("epoch", 5*time.Second, "training epoch length")
 		once     = flag.Bool("once", true, "exit after the first session")
+		gpus     = flag.Int("gpus", 2, "simulated GPU pool size; each live session holds one slot")
 		debug    = flag.String("debug", "", "optional HTTP debug listen address "+
 			"(expvar at /debug/vars, registry snapshot at /debug/telemetry, "+
 			"event trace at /debug/telemetry/events, pprof at /debug/pprof/)")
@@ -45,21 +52,64 @@ func main() {
 		}
 	}
 
+	node := &node{
+		live: map[string]bool{},
+		pool: sr.NewDevicePool(sr.RTX2080Ti(), *gpus),
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("livenas-server listening on %s", ln.Addr())
+	log.Printf("livenas-server listening on %s (%d GPU slots)", ln.Addr(), node.pool.Total())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Fatalf("accept: %v", err)
 		}
-		serve(conn, *epochLen, reg)
 		if *once {
+			serve(conn, *epochLen, reg, node)
 			return
 		}
+		// One goroutine per ingest session; the process's lifetime bounds
+		// them (the server runs until killed in multi-session mode).
+		go serve(conn, *epochLen, reg, node)
 	}
+}
+
+// node is the server's multi-tenant admission state: the set of live
+// channel keys and the simulated GPU pool they hold slots in. It is the
+// runnable-demo counterpart of internal/fleet's virtual-clock Manager —
+// same invariants (unique live keys, all-or-nothing slot admission),
+// enforced against real concurrent connections instead of a planned
+// timeline.
+type node struct {
+	mu   sync.Mutex
+	live map[string]bool
+	pool *sr.DevicePool
+}
+
+// admit reserves the channel key and one GPU slot; a non-empty refusal
+// reason means the session must be turned away.
+func (n *node) admit(key string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.live[key] {
+		return fmt.Sprintf("channel %q is already live", key)
+	}
+	if !n.pool.Acquire(1) {
+		return fmt.Sprintf("GPU pool saturated (%d/%d slots held)", n.pool.InUse(), n.pool.Total())
+	}
+	n.live[key] = true
+	return ""
+}
+
+// release frees the key and its slot when the session ends.
+func (n *node) release(key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.live, key)
+	n.pool.Release(1)
 }
 
 // startDebug serves the process's introspection surface on its own HTTP
@@ -95,7 +145,7 @@ func startDebug(addr string, reg *telemetry.Registry) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
+func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *node) {
 	defer conn.Close()
 	log.Printf("ingest session from %s", conn.RemoteAddr())
 
@@ -104,9 +154,23 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 		log.Printf("bad hello: %v", err)
 		return
 	}
+	channel := hello.Channel
+	if channel == "" {
+		// Pre-channel clients still get a session; key it by peer address
+		// so the admission bookkeeping stays uniform.
+		channel = "anon/" + conn.RemoteAddr().String()
+	}
+	if reason := n.admit(channel); reason != "" {
+		log.Printf("refusing %s (%s): %s", channel, conn.RemoteAddr(), reason)
+		if err := wire.Write(conn, &wire.Message{Type: wire.MsgBye, Channel: channel, Reason: reason}); err != nil {
+			log.Printf("refusal write: %v", err)
+		}
+		return
+	}
+	defer n.release(channel)
 	scale := hello.NativeW / hello.IngestW
-	log.Printf("stream: ingest %dx%d -> native %dx%d (x%d), %.0f fps",
-		hello.IngestW, hello.IngestH, hello.NativeW, hello.NativeH, scale, hello.FPS)
+	log.Printf("stream %s: ingest %dx%d -> native %dx%d (x%d), %.0f fps",
+		channel, hello.IngestW, hello.IngestH, hello.NativeW, hello.NativeH, scale, hello.FPS)
 
 	dec := codec.NewDecoder(codec.Config{Profile: codec.BX8, W: hello.IngestW, H: hello.IngestH})
 	model := sr.NewModel(scale, sr.DefaultChannels, 1)
@@ -149,7 +213,7 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 	for {
 		select {
 		case err := <-errc:
-			log.Printf("session ended after %d frames, %d patches, %d epochs: %v", frames, patches, epochs, err)
+			log.Printf("session %s ended after %d frames, %d patches, %d epochs: %v", channel, frames, patches, epochs, err)
 			return
 		case <-epochTimer.C:
 			if trainer.SampleCount() == 0 {
@@ -166,16 +230,17 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 			if len(recent) > 0 {
 				gain /= float64(len(recent))
 			}
-			log.Printf("epoch %d: loss %.5f, SR gain on recent patches %+.2f dB (%d samples)",
-				epochs, loss, gain, trainer.SampleCount())
+			log.Printf("%s epoch %d: loss %.5f, SR gain on recent patches %+.2f dB (%d samples)",
+				channel, epochs, loss, gain, trainer.SampleCount())
 			reg.Emit(elapsed(), "train_epoch",
+				telemetry.Str("channel", channel),
 				telemetry.Num("epoch", float64(epochs)),
 				telemetry.Num("samples", float64(trainer.SampleCount())),
 				telemetry.Num("loss", loss),
 				telemetry.Num("gain_cur_db", gain),
 			)
-			if err := wire.Write(conn, &wire.Message{Type: wire.MsgStats, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
-				log.Printf("session ended after %d frames, %d patches, %d epochs: stats write: %v", frames, patches, epochs, err)
+			if err := wire.Write(conn, &wire.Message{Type: wire.MsgStats, Channel: channel, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
+				log.Printf("session %s ended after %d frames, %d patches, %d epochs: stats write: %v", channel, frames, patches, epochs, err)
 				return
 			}
 			if lastFrame != nil {
@@ -212,7 +277,7 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry) {
 				}
 				patches++
 			case wire.MsgBye:
-				log.Printf("client done: %d frames, %d patches, %d epochs", frames, patches, epochs)
+				log.Printf("client %s done: %d frames, %d patches, %d epochs", channel, frames, patches, epochs)
 				return
 			case wire.MsgHello:
 				log.Printf("duplicate hello mid-session; ignoring")

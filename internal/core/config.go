@@ -80,6 +80,12 @@ func (p TrainPolicy) String() string {
 
 // Config describes one ingest session experiment.
 type Config struct {
+	// ChannelKey identifies the stream on a multi-tenant ingest node (the
+	// RTMP stream-key analogue; internal/fleet's registry keys on it).
+	// Empty for standalone sessions. It tags telemetry (session_start,
+	// RunSummary) but does not alter session behaviour.
+	ChannelKey string
+
 	// Content.
 	Cat      vidgen.Category
 	Seed     int64 // session seed (changes the stream's scenes)

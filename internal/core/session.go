@@ -96,6 +96,7 @@ func (r *Results) TelemetrySummary() telemetry.RunSummary {
 		Scheme:           r.Cfg.Scheme.String(),
 		Content:          r.Cfg.Cat.String(),
 		DurationS:        r.Cfg.Duration.Seconds(),
+		Channel:          r.Cfg.ChannelKey,
 		AvgTargetKbps:    r.AvgBandwidthKbps,
 		AvgVideoKbps:     r.AvgVideoKbps,
 		AvgPatchKbps:     r.AvgPatchKbps,
@@ -154,6 +155,12 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	cfg = cfg.withDefaults()
 	reg := cfg.Telemetry
+	reg.Emit(0, "session_start",
+		telemetry.Str("channel", cfg.ChannelKey),
+		telemetry.Str("scheme", cfg.Scheme.String()),
+		telemetry.Num("train_gpus", float64(cfg.TrainGPUs)),
+		telemetry.Num("infer_gpus", float64(cfg.InferGPUs)),
+	)
 
 	s := sim.New()
 	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.Seed, cfg.Duration.Seconds()+60)

@@ -103,6 +103,10 @@ type Options struct {
 	// AnytimeBudget sets the per-frame anytime-scheduling deadline on every
 	// session (0 = off; see core.Config.AnytimeBudget).
 	AnytimeBudget time.Duration
+	// FleetStreams is the fleet experiment's streamer count N (default 6).
+	FleetStreams int
+	// FleetGPUs is the fleet experiment's GPU-pool size M (default 2).
+	FleetGPUs int
 }
 
 // DefaultOptions returns the fast harness configuration.

@@ -88,6 +88,7 @@ var Registry = []Experiment{
 	{"abl-recency", "ablation: recency-weighted batches", one(AblationRecency)},
 	{"abl-scheduler", "ablation: scheduler vs fixed allocation", oneSwept(AblationScheduler)},
 	{"abl-funcodec", "ablation: functional-codec quality probe", oneSwept(AblationFunctionalCodec)},
+	{"fleet", "multi-tenant ingest: N streamers x M GPUs per admission policy", oneSwept(FigFleet)},
 }
 
 // Find returns the registered experiment with the given id.

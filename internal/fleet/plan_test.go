@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"livenas/internal/sweep"
+)
+
+func fleetSpecs(n int, dur time.Duration) []StreamSpec {
+	specs := make([]StreamSpec, n)
+	for i := range specs {
+		specs[i] = StreamSpec{
+			Key:      fmt.Sprintf("ch%02d", i),
+			ArriveAt: time.Duration(i) * 5 * time.Second,
+			Cfg:      testCfg(int64(i+1), dur),
+			Weight:   float64(1 + i%3),
+		}
+	}
+	return specs
+}
+
+// timeline flattens a plan's admission outcome for equality checks.
+func timeline(p *Plan) string {
+	out := ""
+	for _, s := range p.M.Sessions() {
+		out += fmt.Sprintf("%s %s gpus=%d deg=%v arrive=%v admit=%v depart=%v\n",
+			s.Key, s.State, s.GPUs, s.Degraded, s.ArriveAt, s.AdmitAt, s.DepartAt)
+	}
+	return out
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	for _, pol := range []Policy{PolicyReject, PolicyDegrade, PolicyQueue} {
+		opts := Options{GPUs: 3, MaxGPUsPerStream: 2, Policy: pol}
+		p1, err := BuildPlan(fleetSpecs(8, 20*time.Second), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		p2, err := BuildPlan(fleetSpecs(8, 20*time.Second), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if a, b := timeline(p1), timeline(p2); a != b {
+			t.Fatalf("%v: plan not deterministic:\n%s\nvs\n%s", pol, a, b)
+		}
+	}
+}
+
+func TestPlanPoliciesDiffer(t *testing.T) {
+	// 8 arrivals every 5s, 20s sessions, 3 GPUs, ≤2 per stream: demand
+	// overlaps enough that each policy must leave its signature.
+	specs := fleetSpecs(8, 20*time.Second)
+	mk := func(pol Policy) Stats {
+		p, err := BuildPlan(specs, Options{GPUs: 3, MaxGPUsPerStream: 2, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats()
+	}
+	rej := mk(PolicyReject)
+	deg := mk(PolicyDegrade)
+	que := mk(PolicyQueue)
+	if rej.Rejected == 0 {
+		t.Fatalf("reject policy rejected nothing: %+v", rej)
+	}
+	if deg.Degraded == 0 || deg.Rejected != 0 {
+		t.Fatalf("degrade policy: %+v", deg)
+	}
+	if que.Rejected != 0 || que.Degraded != 0 {
+		t.Fatalf("queue policy refused streams: %+v", que)
+	}
+	if que.AdmitP99 == 0 {
+		t.Fatalf("queue policy shows no admission latency: %+v", que)
+	}
+	if rej.AdmitP99 != 0 {
+		t.Fatalf("reject policy should never wait: %+v", rej)
+	}
+	for _, st := range []Stats{rej, deg, que} {
+		if st.Utilization <= 0 || st.Utilization > 1 {
+			t.Fatalf("utilization %v outside (0,1]: %+v", st.Utilization, st)
+		}
+	}
+}
+
+// TestPlanExecutionWorkerInvariant runs the same plan through sweep runners
+// at 1 and 4 workers and requires bitwise-identical per-stream results —
+// the fleet extension of the repo's determinism contract.
+func TestPlanExecutionWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sessions")
+	}
+	specs := fleetSpecs(4, 15*time.Second)
+	run := func(workers int) []string {
+		p, err := BuildPlan(specs, Options{GPUs: 2, MaxGPUsPerStream: 1, Policy: PolicyQueue})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sweep.New(context.Background(), sweep.Options{Workers: workers})
+		p.Submit(r)
+		if err := p.Collect(); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, s := range p.M.Sessions() {
+			if s.Results == nil {
+				t.Fatalf("admitted stream %s has no results", s.Key)
+			}
+			out = append(out, fmt.Sprintf("%s psnr=%.6f frames=%d", s.Key, s.Results.AvgPSNR, s.Results.FramesDecoded))
+		}
+		return out
+	}
+	one := run(1)
+	four := run(4)
+	for i := range one {
+		if one[i] != four[i] {
+			t.Fatalf("worker-count dependence:\n1: %s\n4: %s", one[i], four[i])
+		}
+	}
+}

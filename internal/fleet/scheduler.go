@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"livenas/internal/core"
+	"livenas/internal/vidgen"
+)
+
+// ContentWeight derives a stream's quality weight from its content: the
+// anytime scheduler's gradient-energy proxy (internal/sr, §6.2 extension)
+// evaluated on a mid-session probe frame, divided by the stream's per-pixel
+// compute cost on its device. High-detail content gains the most PSNR from
+// DNN super-resolution (bilinear blurs exactly the high-gradient regions),
+// so energy-per-compute-NS is the marginal-gain-per-GPU-nanosecond signal
+// the cross-stream allocator shares the pool by.
+//
+// The probe is a pure function of the stream's config (category, seed,
+// geometry, duration): one native frame at the session midpoint, box-
+// downscaled to ingest resolution — the same luma the server's processor
+// would see — with the fixed-point ×256/area normalization the anytime
+// ranker uses, so equal content yields bit-equal weights everywhere.
+func ContentWeight(cfg core.Config) float64 {
+	cfg = cfg.Defaulted()
+	if err := cfg.Validate(); err != nil {
+		return 1
+	}
+	scale := cfg.Scale()
+	src := vidgen.NewSource(cfg.Cat, cfg.Native.W, cfg.Native.H, cfg.Seed, cfg.Duration.Seconds())
+	lr := src.FrameAt(cfg.Duration.Seconds() / 2).Downscale(scale)
+	var e int64
+	for y := 0; y < lr.H; y++ {
+		row := lr.Pix[y*lr.W:]
+		for x := 0; x < lr.W; x++ {
+			if x+1 < lr.W {
+				e += absDiff(row[x], row[x+1])
+			}
+			if y+1 < lr.H {
+				e += absDiff(row[x], lr.Pix[(y+1)*lr.W+x])
+			}
+		}
+	}
+	area := int64(lr.W * lr.H)
+	if area == 0 {
+		return 1
+	}
+	energyPerPix := float64(e*256/area) / 256
+	// Per-LR-pixel inference cost on this stream's device: each LR pixel
+	// costs its input visit plus scale² output pixels.
+	perPixNS := cfg.Device.PatchComputeNS(1, 1, scale, cfg.QuantInt8)
+	if perPixNS <= 0 {
+		return energyPerPix
+	}
+	w := energyPerPix / perPixNS
+	if w <= 0 {
+		// Flat content (e.g. a color-bar slate) still deserves a live slot;
+		// floor the weight so the allocator's divisors stay meaningful.
+		w = 1e-6
+	}
+	return w
+}
+
+// Allocate shares `slots` GPU slots among streams by quality weight using
+// the D'Hondt highest-averages method: slots are awarded one at a time to
+// the stream maximizing weight/(granted+1), with per-stream allocations
+// capped at maxPerStream. Proportional in the limit, exact at small M, and
+// free of the Hamilton paradoxes a largest-remainder rule would add when
+// streams churn.
+//
+// Determinism contract: streams are considered in keys order and ties
+// break toward the earlier key (strictly-greater comparison), so equal
+// inputs yield identical allocations on every host and worker count. keys
+// supplies the order; weights the per-key weight (non-positive weights are
+// floored to a tiny epsilon). Streams beyond the cap stop receiving; if
+// every stream is capped, remaining slots stay unallocated.
+func Allocate(keys []string, weights map[string]float64, slots, maxPerStream int) map[string]int {
+	alloc := make(map[string]int, len(keys))
+	if len(keys) == 0 || slots <= 0 {
+		return alloc
+	}
+	if maxPerStream <= 0 {
+		maxPerStream = slots
+	}
+	w := make([]float64, len(keys))
+	for i, k := range keys {
+		w[i] = weights[k]
+		if w[i] <= 0 {
+			w[i] = 1e-9
+		}
+	}
+	got := make([]int, len(keys))
+	for s := 0; s < slots; s++ {
+		best, bestQ := -1, 0.0
+		for i := range keys {
+			if got[i] >= maxPerStream {
+				continue
+			}
+			q := w[i] / float64(got[i]+1)
+			if best == -1 || q > bestQ {
+				best, bestQ = i, q
+			}
+		}
+		if best == -1 {
+			break // everyone capped
+		}
+		got[best]++
+	}
+	for i, k := range keys {
+		alloc[k] = got[i]
+	}
+	return alloc
+}
+
+func absDiff(a, b uint8) int64 {
+	if a > b {
+		return int64(a - b)
+	}
+	return int64(b - a)
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"livenas/internal/vidgen"
+)
+
+func TestAllocateProportional(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	w := map[string]float64{"a": 3, "b": 2, "c": 1}
+	got := Allocate(keys, w, 6, 6)
+	// D'Hondt over weights 3:2:1 with 6 slots → 3, 2, 1.
+	if got["a"] != 3 || got["b"] != 2 || got["c"] != 1 {
+		t.Fatalf("allocation %v, want a:3 b:2 c:1", got)
+	}
+}
+
+func TestAllocateCapAndTies(t *testing.T) {
+	keys := []string{"x", "y"}
+	w := map[string]float64{"x": 10, "y": 10}
+	// Equal weights: ties break toward the earlier key, alternating.
+	got := Allocate(keys, w, 3, 8)
+	if got["x"] != 2 || got["y"] != 1 {
+		t.Fatalf("tie allocation %v, want x:2 y:1 (earlier key wins ties)", got)
+	}
+	// Cap diverts slots to the other stream.
+	got = Allocate(keys, map[string]float64{"x": 100, "y": 1}, 4, 2)
+	if got["x"] != 2 || got["y"] != 2 {
+		t.Fatalf("capped allocation %v, want x:2 y:2", got)
+	}
+	// Everyone capped: leftover slots stay unallocated.
+	got = Allocate(keys, w, 10, 2)
+	if got["x"]+got["y"] != 4 {
+		t.Fatalf("fully capped allocation %v, want total 4", got)
+	}
+}
+
+func TestAllocateDegenerate(t *testing.T) {
+	if got := Allocate(nil, nil, 4, 2); len(got) != 0 {
+		t.Fatalf("empty keys: %v", got)
+	}
+	got := Allocate([]string{"a"}, map[string]float64{"a": -5}, 2, 0)
+	if got["a"] != 2 {
+		t.Fatalf("non-positive weight floored: %v, want a:2", got)
+	}
+}
+
+func TestContentWeightDeterministicAndPositive(t *testing.T) {
+	cfg := testCfg(7, 40*time.Second)
+	w1 := ContentWeight(cfg)
+	w2 := ContentWeight(cfg)
+	if w1 != w2 {
+		t.Fatalf("ContentWeight not deterministic: %v vs %v", w1, w2)
+	}
+	if w1 <= 0 {
+		t.Fatalf("ContentWeight %v, want > 0", w1)
+	}
+	// Different content should (generically) weigh differently.
+	other := testCfg(7, 40*time.Second)
+	other.Cat = vidgen.Sports
+	if ContentWeight(other) == w1 {
+		t.Log("different categories weighed equal (allowed, but suspicious)")
+	}
+}

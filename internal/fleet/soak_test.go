@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"livenas/internal/sweep"
+)
+
+// TestFleetSoak drives an oversubscribed admission plan end to end: N
+// streamers (default 8; the nightly workflow sets FLEET_SOAK_STREAMS=64)
+// arrive faster than the 2-GPU pool drains, every admitted session executes
+// concurrently through a sweep runner, and the pool must account to zero
+// afterwards. Run under -race this is the fleet layer's concurrency soak —
+// registry, pool and telemetry all see worker-parallel traffic.
+func TestFleetSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("executes many sessions")
+	}
+	n := 8
+	if env := os.Getenv("FLEET_SOAK_STREAMS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("FLEET_SOAK_STREAMS=%q: want a positive integer", env)
+		}
+		n = v
+	}
+	const dur = 5 * time.Second
+	specs := make([]StreamSpec, n)
+	for i := range specs {
+		// Arrivals at dur/4 spacing keep ~4 streams live per slot pair, so
+		// the queue stays non-empty for most of the timeline.
+		specs[i] = StreamSpec{
+			Key:      fmt.Sprintf("soak%03d", i),
+			ArriveAt: time.Duration(i) * dur / 4,
+			Cfg:      testCfg(int64(1000+i*7), dur),
+			Weight:   float64(1 + i%3),
+		}
+	}
+	p, err := BuildPlan(specs, Options{GPUs: 2, MaxGPUsPerStream: 1, Policy: PolicyQueue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Admitted != n {
+		t.Fatalf("queue policy admitted %d of %d streams", st.Admitted, n)
+	}
+	if p.M.Pool().InUse() != 0 {
+		t.Fatalf("pool in use %d after plan drain, want 0", p.M.Pool().InUse())
+	}
+
+	r := sweep.New(context.Background(), sweep.Options{})
+	p.Submit(r)
+	if err := p.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.M.Sessions() {
+		if s.Results == nil {
+			t.Fatalf("stream %s: admitted but no results", s.Key)
+		}
+		if s.Results.FramesDecoded == 0 {
+			t.Fatalf("stream %s: zero frames decoded", s.Key)
+		}
+		if s.Results.Cfg.ChannelKey != s.Key {
+			t.Fatalf("stream %s: results tagged %q", s.Key, s.Results.Cfg.ChannelKey)
+		}
+	}
+}

@@ -1,3 +1,5 @@
+//go:build amd64 && !purego
+
 // SSE2 micro-kernels for the nn kernel engine. Element-wise MULPS/ADDPS
 // only — no FMA — so every output element sees the same float32 rounding
 // as the scalar reference (vector lanes are independent IEEE operations).

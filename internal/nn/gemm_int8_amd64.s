@@ -1,3 +1,5 @@
+//go:build amd64 && !purego
+
 // Int8 micro-kernels for the quantized inference path. The int8 values
 // travel in int16 containers so the whole pipeline is PMADDWD-shaped: one
 // pmaddwd consumes two taps per output element and accumulates exactly in

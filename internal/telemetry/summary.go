@@ -18,6 +18,9 @@ type RunSummary struct {
 	Scheme    string  `json:"scheme"`
 	Content   string  `json:"content"`
 	DurationS float64 `json:"duration_s"`
+	// Channel is the stream's channel key on a multi-tenant node (empty for
+	// standalone sessions).
+	Channel string `json:"channel,omitempty"`
 
 	// Scheduler split (§5.1): session means of the bandwidth shares.
 	AvgTargetKbps float64 `json:"avg_target_kbps"`

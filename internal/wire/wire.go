@@ -31,7 +31,10 @@ const (
 type Message struct {
 	Type MsgType
 
-	// Hello fields.
+	// Hello fields. Channel is the streamer's channel key (the RTMP
+	// stream-key analogue): the multi-tenant server admits or refuses the
+	// session under it, and a MsgBye carrying Reason echoes it back.
+	Channel          string
 	IngestW, IngestH int
 	NativeW, NativeH int
 	FPS              float64
@@ -48,6 +51,11 @@ type Message struct {
 	GainDB  float64
 	Epochs  int
 	Samples int
+
+	// Bye field: why the server is closing the session (empty on a normal
+	// client-initiated goodbye; e.g. an admission-refusal note when the
+	// GPU pool is saturated).
+	Reason string
 
 	// Payload: encoded frame or patch bytes.
 	Data []byte

@@ -24,6 +24,7 @@ import (
 
 	"livenas/internal/core"
 	"livenas/internal/exp"
+	"livenas/internal/fleet"
 	"livenas/internal/sweep"
 	"livenas/internal/trace"
 	"livenas/internal/vidgen"
@@ -135,6 +136,40 @@ func NewSweepRunner(ctx context.Context, o SweepOptions) *SweepRunner { return s
 
 // OpenSweepCache opens (creating if needed) an on-disk session cache.
 func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.Open(dir) }
+
+// Fleet layer access: a multi-tenant ingest node that admission-controls
+// channel-keyed streams against a simulated GPU pool on a virtual clock,
+// then executes the admitted sessions through a sweep runner.
+type (
+	// FleetManager is the admission-control registry of one ingest node.
+	FleetManager = fleet.Manager
+	// FleetOptions sizes the node (GPU pool, admission policy, telemetry).
+	FleetOptions = fleet.Options
+	// FleetPolicy selects what happens to over-capacity arrivals.
+	FleetPolicy = fleet.Policy
+	// FleetStreamSpec declares one arriving stream (key, arrival, config).
+	FleetStreamSpec = fleet.StreamSpec
+	// FleetPlan is a completed virtual admission timeline ready to execute.
+	FleetPlan = fleet.Plan
+	// FleetStats summarizes a plan's admission timeline.
+	FleetStats = fleet.Stats
+)
+
+// Admission policies for over-capacity arrivals.
+const (
+	FleetPolicyReject  = fleet.PolicyReject
+	FleetPolicyDegrade = fleet.PolicyDegrade
+	FleetPolicyQueue   = fleet.PolicyQueue
+)
+
+// NewFleetManager returns an empty ingest node.
+func NewFleetManager(o FleetOptions) *FleetManager { return fleet.NewManager(o) }
+
+// BuildFleetPlan registers every spec against a fresh node and runs the
+// virtual admission timeline to completion.
+func BuildFleetPlan(specs []FleetStreamSpec, o FleetOptions) (*FleetPlan, error) {
+	return fleet.BuildPlan(specs, o)
+}
 
 // Experiments lists every reproducible table and figure id.
 func Experiments() []string { return exp.IDs() }

@@ -134,6 +134,9 @@ if [[ "$SHORT" == 0 ]]; then
     echo "== bench: sweep engine serial vs parallel" >&2
     go run ./cmd/livenas-bench -sweepbench BENCH_sweep.json
 
+    echo "== bench: fleet plan serial vs parallel" >&2
+    go run ./cmd/livenas-bench -fleetbench BENCH_fleet.json
+
     echo "== bench: vet engine cold vs warm" >&2
     go run ./cmd/livenas-vet -bench BENCH_vet.json ./...
 fi

@@ -11,17 +11,28 @@
 #                         sweep at -parallel 4)
 #   scripts/ci.sh full    merge tier: cold livenas-vet (no cache — proves
 #                         findings independently of cache state), full
-#                         tests, race tier (includes internal/sweep and the
-#                         parallel vet driver), fuzz smoke (FUZZTIME,
-#                         default 10s, 0 skips), kernel-bench regression
-#                         gate vs BENCH_kernels.json (cmd/bench-compare,
-#                         BENCH_NOISE overrides the 15% threshold),
-#                         sweep-speedup gate vs BENCH_sweep.json, vet
-#                         warm-cache gate vs BENCH_vet.json, telemetry
-#                         run-summary validation
+#                         tests, race tier (includes internal/sweep,
+#                         internal/fleet and the parallel vet driver), fuzz
+#                         smoke (FUZZTIME, default 10s, 0 skips),
+#                         kernel-bench regression gate vs BENCH_kernels.json
+#                         (cmd/bench-compare, BENCH_NOISE overrides the 15%
+#                         threshold), sweep-speedup gate vs BENCH_sweep.json,
+#                         fleet gate vs BENCH_fleet.json, vet warm-cache
+#                         gate vs BENCH_vet.json, telemetry run-summary
+#                         validation
+#
+# Extended knobs (the nightly workflow uses these):
+#   FLEET_SOAK_STREAMS=N  adds a fleet soak step to the full tier: N
+#                         concurrent streamers through the admission plan
+#                         and sweep execution under -race
+#   CI_ARTIFACTS=dir      collects the step table, the telemetry run
+#                         summary and pprof profiles into dir for upload
 #
 # Each step is timed; the table goes to stdout and, when running under
-# GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY).
+# GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY). When a step
+# fails, the remaining steps are recorded as "skipped" and the script exits
+# with the FIRST failing step's rc (a finish()/set -e interaction used to
+# let a later step's rc, or a multi-command step's last rc, mask it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,12 +43,23 @@ case "$TIER" in fast | full) ;; *)
     ;;
 esac
 
+if [[ -n "${CI_ARTIFACTS:-}" ]]; then
+    mkdir -p "$CI_ARTIFACTS"
+fi
+
 STEP_NAMES=()
 STEP_SECS=()
 STEP_RCS=()
+# First failure wins: step() records it here and turns every later step
+# into an explicit "skipped" row instead of running it.
+FAIL_RC=0
+FAIL_STEP=""
 
 finish() {
     local rc=$?
+    # The table must report the first failing step's rc even if the shell
+    # exited through a later command (or through the final exit 0 path).
+    if [[ $FAIL_RC -ne 0 ]]; then rc=$FAIL_RC; fi
     {
         echo
         echo "### ci.sh $TIER tier"
@@ -48,14 +70,29 @@ finish() {
         for i in "${!STEP_NAMES[@]}"; do
             echo "| ${STEP_NAMES[$i]} | ${STEP_SECS[$i]} | ${STEP_RCS[$i]} |"
         done
-    } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}"
+        if [[ $FAIL_RC -ne 0 ]]; then
+            echo
+            echo "first failure: ${FAIL_STEP} (rc=${FAIL_RC})"
+        fi
+    } | tee -a "${GITHUB_STEP_SUMMARY:-/dev/null}" |
+        tee -a "${CI_ARTIFACTS:+$CI_ARTIFACTS/step_table.md}" 2>/dev/null ||
+        true
     exit "$rc"
 }
 trap finish EXIT
 
+# step NAME CMD...: runs CMD under timing. Never returns nonzero — set -e
+# must not abort the driver mid-table — but records the first failure in
+# FAIL_RC/FAIL_STEP and skips every subsequent step explicitly.
 step() {
     local name="$1"
     shift
+    if [[ $FAIL_RC -ne 0 ]]; then
+        STEP_NAMES+=("$name")
+        STEP_SECS+=("-")
+        STEP_RCS+=("skipped")
+        return 0
+    fi
     echo "== $name"
     local t0 t1 rc=0
     t0=$(date +%s)
@@ -63,8 +100,14 @@ step() {
     t1=$(date +%s)
     STEP_NAMES+=("$name")
     STEP_SECS+=("$((t1 - t0))")
-    if [[ $rc -eq 0 ]]; then STEP_RCS+=("ok"); else STEP_RCS+=("FAIL($rc)"); fi
-    return "$rc"
+    if [[ $rc -eq 0 ]]; then
+        STEP_RCS+=("ok")
+    else
+        STEP_RCS+=("FAIL($rc)")
+        FAIL_RC=$rc
+        FAIL_STEP="$name"
+    fi
+    return 0
 }
 
 gofmt_clean() {
@@ -77,14 +120,32 @@ gofmt_clean() {
     fi
 }
 
+# Multi-command steps chain with && so the step's rc is the first failing
+# command's, not the last command's (bash suppresses set -e inside a
+# function invoked in a tested context, so sequential statements would
+# swallow an early failure).
 summary_gate() {
-    local f
+    local f rc=0
     f="$(mktemp -t run_summary.XXXXXX.json)"
     # Reduced duration: the gate checks the summary pipeline end to end,
     # not experiment statistics.
-    go run ./cmd/livenas-bench -summary "$f" -dur 40s -time=false
-    go run ./cmd/bench-compare -summary "$f"
+    go run ./cmd/livenas-bench -summary "$f" -dur 40s -time=false &&
+        go run ./cmd/bench-compare -summary "$f" || rc=$?
+    if [[ -n "${CI_ARTIFACTS:-}" && -s "$f" ]]; then
+        cp "$f" "$CI_ARTIFACTS/run_summary.json"
+    fi
     rm -f "$f"
+    return "$rc"
+}
+
+# Nightly-only: record cpu/heap profiles of the 1080p inference bench for
+# upload, so a perf regression caught by the bench gate comes with the
+# profile that explains it.
+pprof_profiles() {
+    go test -run '^$' -bench 'BenchmarkInference1080p$' -benchtime 5x \
+        -cpuprofile "$CI_ARTIFACTS/cpu.pprof" \
+        -memprofile "$CI_ARTIFACTS/mem.pprof" \
+        -o "$CI_ARTIFACTS/sr_bench.test" ./internal/sr
 }
 
 if [[ "$TIER" == "fast" ]]; then
@@ -110,16 +171,29 @@ else
     step "livenas-vet (cold)" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test" go test ./...
     # internal/nn rides along for the int8/strip-parallel kernel stress;
-    # internal/sr's stress set includes the quantized-path churn test.
-    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/nn ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep
+    # internal/sr's stress set includes the quantized-path churn test;
+    # internal/fleet races the registry against mid-epoch teardowns.
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/nn ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep ./internal/fleet
+    if [[ -n "${FLEET_SOAK_STREAMS:-}" ]]; then
+        step "fleet soak (N=$FLEET_SOAK_STREAMS, -race)" go test -race \
+            -run '^TestFleetSoak$' -v ./internal/fleet
+    fi
     if [[ "$FUZZTIME" != "0" ]]; then
         step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
         step "fuzz codec ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzBitReader$' -fuzztime "$FUZZTIME" ./internal/codec
     fi
     step "bench gate" go run ./cmd/bench-compare
     step "sweep gate" go run ./cmd/bench-compare -sweep
+    step "fleet gate" go run ./cmd/bench-compare -fleet
     step "vet gate" go run ./cmd/bench-compare -vet
     step "summary gate" summary_gate
+    if [[ -n "${CI_ARTIFACTS:-}" ]]; then
+        step "pprof profiles" pprof_profiles
+    fi
 fi
 
+if [[ $FAIL_RC -ne 0 ]]; then
+    echo "== ci.sh $TIER tier FAILED at: $FAIL_STEP (rc=$FAIL_RC)" >&2
+    exit "$FAIL_RC"
+fi
 echo "== ci.sh $TIER tier passed"
