@@ -1,10 +1,12 @@
 // Command livenas-vet runs the project-specific static checks of
 // internal/analysis over the module: deterministic-replay taint tracking,
 // context propagation to blocking points, sync/atomic consistency, arena
-// lifetimes, goroutine joins, lock ordering, unchecked wire-write errors,
-// mutex lock/defer hygiene, exhaustive wire-message switches, and float
-// precision churn in the hot numeric kernels. It is part of the pre-merge
-// gate (scripts/check.sh, scripts/ci.sh).
+// lifetimes, goroutine joins, lock ordering, lockset race detection with
+// guarded-by inference, asm/build-tag hygiene for the assembly kernels,
+// unchecked wire-write errors, mutex lock/defer hygiene, exhaustive
+// wire-message switches, and float precision churn in the hot numeric
+// kernels. It is part of the pre-merge gate (scripts/check.sh,
+// scripts/ci.sh).
 //
 // Usage:
 //

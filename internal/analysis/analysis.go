@@ -49,14 +49,15 @@ func (d Diagnostic) String() string {
 // module at once through the call-graph/CFG/summary substrate (callgraph.go,
 // cfg.go, dataflow.go, summary.go) and is how the interprocedural checks —
 // arena-lifetime, goroutine-leak, lock-order, determinism-taint,
-// context-propagation, atomic-consistency — are built.
+// context-propagation, atomic-consistency, race-guard — are built.
 //
 // Global marks a RunModule check whose findings in one package can change
 // when ANY other package changes (lock-order's cross-package cycles,
 // context-propagation's stored-never-consulted scan, atomic-consistency's
-// module-wide access mix). The incremental driver (driver.go) caches
-// non-global module checks per package under that package's dependency
-// closure key, but must key global checks on the whole target set.
+// module-wide access mix, race-guard's module-wide guarded-by tallies).
+// The incremental driver (driver.go) caches non-global module checks per
+// package under that package's dependency closure key, but must key
+// global checks on the whole target set.
 type Check struct {
 	Name      string
 	Doc       string
@@ -79,6 +80,8 @@ func AllChecks() []*Check {
 		DeterminismTaint,
 		ContextPropagation,
 		AtomicConsistency,
+		RaceGuard,
+		AsmABI,
 	}
 }
 

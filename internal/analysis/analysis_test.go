@@ -31,6 +31,8 @@ var fixtureChecks = []struct {
 	{"determtaint", "determinism-taint"},
 	{"ctxprop", "context-propagation"},
 	{"atomicmix", "atomic-consistency"},
+	{"raceguard", "race-guard"},
+	{"asmabi", "asm-abi"},
 }
 
 func loadFixture(t *testing.T, dir string) []*Package {
@@ -85,13 +87,14 @@ func TestChecksOnFixtures(t *testing.T) {
 	}
 }
 
-// collectWants scans fixture sources for `// want <check>` markers and
-// returns the expected "file.go:line" set.
+// collectWants scans fixture sources (.go and .s files — the asm-abi check
+// reports into assembly files) for `// want <check>` markers and returns the
+// expected "file.go:line" set.
 func collectWants(t *testing.T, root, check string) map[string]bool {
 	t.Helper()
 	want := map[string]bool{}
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+		if err != nil || d.IsDir() || (!strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, ".s")) {
 			return err
 		}
 		f, err := os.Open(path)

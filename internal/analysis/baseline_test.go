@@ -52,6 +52,65 @@ func TestRenderJSONGolden(t *testing.T) {
 	}
 }
 
+// TestRaceGuardJSONGolden locks down race-guard's -json wire format: stable
+// module-relative paths, the suppression withheld from the output, and a
+// message that survives the baseline round-trip (NewBaseline on the
+// findings, once justified, must validate and then cover exactly those
+// findings with nothing stale). Regenerate with
+// `go test ./internal/analysis -run Golden -update`.
+func TestRaceGuardJSONGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "raceguard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixture(t, "raceguard")
+	diags := Run(pkgs, []*Check{CheckByName("race-guard")})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1 (the suppressed Audited site must be withheld): %v", len(diags), diags)
+	}
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "raceguard.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, want) {
+		t.Errorf("JSON output drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if strings.Contains(buf.String(), root) {
+		t.Errorf("JSON output contains absolute paths:\n%s", buf.String())
+	}
+
+	// Baseline round-trip: regenerating from the findings and justifying the
+	// entry must produce a baseline that validates and covers exactly the
+	// current findings.
+	b := NewBaseline(diags, nil)
+	if err := b.Validate(); err == nil {
+		t.Error("freshly generated baseline validated with an empty justification")
+	}
+	for i := range b.Findings {
+		b.Findings[i].Justification = "test acceptance"
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("justified baseline failed to validate: %v", err)
+	}
+	fresh, stale := b.Apply(diags)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("baseline round-trip: fresh=%v stale=%v, want none", fresh, stale)
+	}
+}
+
 func mkDiag(check, pkg, msg, file string, line int) Diagnostic {
 	return Diagnostic{
 		Pos:     token.Position{Filename: file, Line: line, Column: 2},

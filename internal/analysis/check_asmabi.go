@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AsmABI is the build/asm hygiene check for the amd64 fast paths: every
+// function implemented in a `_amd64.s` file must have a body-less Go
+// declaration stub in an `amd64 && !purego` file and a pure-Go twin with an
+// identical signature in a `!amd64 || purego` file, and the build
+// constraints of the participating files must partition builds exactly into
+// those two sides (a stub file tagged only `amd64` would collide with the
+// purego twin, and a twin tagged only `!amd64` would leave purego-on-amd64
+// builds without a body).
+//
+// The check reads the package directory raw — including the .s sources and
+// the .go files the host's build tags exclude — so its verdict is identical
+// on every GOARCH. Findings in assembly files can be silenced with a
+// `//livenas:allow asm-abi <why>` comment on (or above) the TEXT line; Go
+// positions take the usual directive forms. It complements, not replaces,
+// stdlib `go vet` asmdecl (which validates stub/TEXT frame agreement but
+// only for the files the current build selects).
+var AsmABI = &Check{
+	Name: asmABIName,
+	Doc: "an _amd64.s function is missing its declaration stub or its " +
+		"identical-signature purego twin, or a participating file's build " +
+		"tags do not partition exactly into amd64 && !purego vs " +
+		"!amd64 || purego",
+	Run: runAsmABI,
+}
+
+// asmABIName is the registry name, as a constant so the runner can refer to
+// it without an initialization cycle through the Check variable.
+const asmABIName = "asm-abi"
+
+// asmSymbol is one TEXT ·name(SB) definition in an assembly file.
+type asmSymbol struct {
+	name string
+	pos  token.Pos
+}
+
+// asmSrcFile is one raw-scanned _amd64.s file.
+type asmSrcFile struct {
+	name    string
+	syms    []asmSymbol
+	expr    constraint.Expr
+	exprPos token.Pos
+	// allow maps line numbers carrying //livenas:allow asm-abi directives.
+	allow map[int]bool
+}
+
+// abiGoFile is one raw-parsed non-test .go file of the package directory.
+type abiGoFile struct {
+	name          string
+	file          *ast.File
+	expr          constraint.Expr
+	impliesAmd64  bool // filename suffix _amd64.go
+	impliesOther  bool // filename suffix names a different GOARCH
+	stubs, bodies map[string]*ast.FuncDecl
+	isAsm, isPure bool // constraint is exactly one of the two sides
+}
+
+func runAsmABI(p *Pass) {
+	dir := p.Pkg.Dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var asmNames, goNames []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, "_amd64.s"):
+			asmNames = append(asmNames, name)
+		case strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go"):
+			goNames = append(goNames, name)
+		}
+	}
+	if len(asmNames) == 0 {
+		return
+	}
+	sort.Strings(asmNames)
+	sort.Strings(goNames)
+
+	var asmFiles []*asmSrcFile
+	symSet := map[string]bool{}
+	for _, name := range asmNames {
+		af := scanAsmFile(p.Fset, filepath.Join(dir, name))
+		if af == nil {
+			continue
+		}
+		asmFiles = append(asmFiles, af)
+		for _, s := range af.syms {
+			symSet[s.name] = true
+		}
+	}
+
+	var goFiles []*abiGoFile
+	var rawAsts []*ast.File
+	for _, name := range goNames {
+		gf := parseABIGoFile(p.Fset, filepath.Join(dir, name), symSet)
+		if gf == nil {
+			continue
+		}
+		goFiles = append(goFiles, gf)
+		rawAsts = append(rawAsts, gf.file)
+	}
+	// The raw parse sees files the host build excludes, whose directives the
+	// package-level suppression index never collected; index them here so an
+	// allow works the same on every side of the tag split.
+	local := collectSuppressions(p.Fset, rawAsts)
+	report := func(pos token.Pos, format string, args ...any) {
+		if local.suppressed(asmABIName, p.Fset.Position(pos)) {
+			return
+		}
+		p.Reportf(pos, format, args...)
+	}
+
+	// Pass 1: tag partition. Every file that takes part in the asm split —
+	// the .s sources, stub holders, twin holders — must sit exactly on one
+	// side.
+	for _, af := range asmFiles {
+		if !exactSide(af.expr, true, false, true) {
+			report(af.exprPos,
+				"%s must be constrained to exactly amd64 && !purego (the assembly side of the build partition)",
+				af.name)
+		}
+	}
+	for _, gf := range goFiles {
+		// Tag findings anchor on the package clause: a trailing marker or
+		// directive comment on the //go:build line itself would change the
+		// constraint being diagnosed.
+		if len(gf.stubs) > 0 && !gf.isAsm {
+			report(gf.file.Package,
+				"%s declares assembly stubs but is not constrained to exactly amd64 && !purego; stub and twin files must partition builds exactly",
+				gf.name)
+		}
+		if len(gf.bodies) > 0 && !gf.isPure && len(gf.stubs) == 0 && !gf.isAsm {
+			report(gf.file.Package,
+				"%s defines purego twins of assembly functions but is not constrained to exactly !amd64 || purego; stub and twin files must partition builds exactly",
+				gf.name)
+		}
+	}
+
+	// Pass 2: per symbol, stub presence, twin presence, signature identity.
+	findDecl := func(bodied bool, sym string) (*abiGoFile, *ast.FuncDecl) {
+		for _, gf := range goFiles {
+			m := gf.stubs
+			if bodied {
+				m = gf.bodies
+			}
+			if d := m[sym]; d != nil {
+				return gf, d
+			}
+		}
+		return nil, nil
+	}
+	for _, af := range asmFiles {
+		for _, sym := range af.syms {
+			line := p.Fset.Position(sym.pos).Line
+			if af.allow[line] || af.allow[line-1] {
+				continue
+			}
+			_, stub := findDecl(false, sym.name)
+			if stub == nil {
+				report(sym.pos,
+					"assembly function %s has no body-less Go declaration stub in this package's amd64 && !purego files",
+					sym.name)
+				continue
+			}
+			twinFile, twin := findDecl(true, sym.name)
+			if twin == nil {
+				report(stub.Name.Pos(),
+					"assembly function %s has no purego twin; a !amd64 || purego file must define an identical-signature Go fallback",
+					sym.name)
+				continue
+			}
+			want := sigString(p.Fset, stub.Type)
+			got := sigString(p.Fset, twin.Type)
+			if got != want {
+				report(twin.Name.Pos(),
+					"purego twin of %s has signature %s, but the assembly declaration is %s; the two sides must agree exactly",
+					sym.name, got, want)
+			}
+			_ = twinFile
+		}
+	}
+}
+
+// scanAsmFile registers the .s source in the fileset (so findings carry real
+// file:line positions) and extracts its TEXT symbols, build constraint, and
+// allow-directive lines.
+func scanAsmFile(fset *token.FileSet, path string) *asmSrcFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	tf := fset.AddFile(path, -1, len(data))
+	tf.SetLinesForContent(data)
+	af := &asmSrcFile{
+		name:    filepath.Base(path),
+		exprPos: tf.LineStart(1),
+		allow:   map[int]bool{},
+	}
+	for i, raw := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		switch {
+		case constraint.IsGoBuild(line):
+			if x, err := constraint.Parse(line); err == nil {
+				af.expr = x
+				af.exprPos = tf.LineStart(lineNo)
+			}
+		case strings.HasPrefix(line, "//"):
+			if checks := parseDirective(line); checks[asmABIName] {
+				af.allow[lineNo] = true
+			}
+		case strings.HasPrefix(line, "TEXT"):
+			if name := asmTextSymbol(line); name != "" {
+				af.syms = append(af.syms, asmSymbol{name: name, pos: tf.LineStart(lineNo)})
+			}
+		}
+	}
+	return af
+}
+
+// asmTextSymbol extracts the package-local symbol of a TEXT directive:
+// "TEXT ·name(SB), NOSPLIT, $0-56" → "name". Dotted (cross-package) and
+// runtime symbols return "".
+func asmTextSymbol(line string) string {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "TEXT"))
+	if !strings.HasPrefix(rest, "·") {
+		return ""
+	}
+	rest = strings.TrimPrefix(rest, "·")
+	end := strings.IndexAny(rest, "(<")
+	if end <= 0 {
+		return ""
+	}
+	return rest[:end]
+}
+
+// parseABIGoFile raw-parses one .go file (host build tags deliberately not
+// applied) and indexes its build constraint and the package-level func
+// declarations named like assembly symbols.
+func parseABIGoFile(fset *token.FileSet, path string, symSet map[string]bool) *abiGoFile {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil
+	}
+	gf := &abiGoFile{
+		name:   filepath.Base(path),
+		file:   f,
+		stubs:  map[string]*ast.FuncDecl{},
+		bodies: map[string]*ast.FuncDecl{},
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if x, err := constraint.Parse(c.Text); err == nil {
+					gf.expr = x
+				}
+			}
+		}
+	}
+	base := strings.TrimSuffix(gf.name, ".go")
+	if strings.HasSuffix(base, "_amd64") {
+		gf.impliesAmd64 = true
+	} else {
+		for _, arch := range otherGoArches {
+			if strings.HasSuffix(base, "_"+arch) {
+				gf.impliesOther = true
+				break
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || !symSet[fd.Name.Name] {
+			continue
+		}
+		if fd.Body == nil {
+			gf.stubs[fd.Name.Name] = fd
+		} else {
+			gf.bodies[fd.Name.Name] = fd
+		}
+	}
+	gf.isAsm = exactSide(gf.expr, gf.impliesAmd64, gf.impliesOther, true)
+	gf.isPure = exactSide(gf.expr, gf.impliesAmd64, gf.impliesOther, false)
+	return gf
+}
+
+// otherGoArches are the filename-suffix GOARCH values that imply !amd64.
+var otherGoArches = []string{
+	"386", "arm", "arm64", "loong64", "mips", "mipsle", "mips64",
+	"mips64le", "ppc64", "ppc64le", "riscv64", "s390x", "wasm",
+}
+
+// exactSide reports whether the effective constraint (declared expression
+// plus any filename-implied arch) is equivalent — over every amd64/purego
+// assignment, all other tags false — to amd64 && !purego (asmSide) or to
+// !amd64 || purego (!asmSide).
+func exactSide(expr constraint.Expr, impliesAmd64, impliesOther, asmSide bool) bool {
+	for _, amd64 := range []bool{false, true} {
+		for _, purego := range []bool{false, true} {
+			eff := true
+			if expr != nil {
+				eff = expr.Eval(func(tag string) bool {
+					switch tag {
+					case "amd64":
+						return amd64
+					case "purego":
+						return purego
+					}
+					return false
+				})
+			}
+			if impliesAmd64 && !amd64 {
+				eff = false
+			}
+			if impliesOther && amd64 {
+				eff = false
+			}
+			want := amd64 && !purego
+			if !asmSide {
+				want = !amd64 || purego
+			}
+			if eff != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sigString renders a function type as its parameter/result type tuple,
+// ignoring parameter names: "(int, *int16) (uint32, uint32)".
+func sigString(fset *token.FileSet, ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	sigFieldTypes(&b, fset, ft.Params)
+	b.WriteByte(')')
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		b.WriteString(" (")
+		sigFieldTypes(&b, fset, ft.Results)
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func sigFieldTypes(b *strings.Builder, fset *token.FileSet, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, f := range fl.List {
+		var tb bytes.Buffer
+		_ = printer.Fprint(&tb, fset, f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.Write(tb.Bytes())
+		}
+	}
+}

@@ -1,0 +1,622 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RaceGuard is RacerD-style compositional lockset race detection. It infers,
+// per named struct type, which lock class guards each field — the class (as
+// extracted by check_lockorder.go's lockClassOf) held on the strict majority
+// of the field's accesses module-wide — and then reports every
+// concurrently-reachable access to an inferred-guarded field whose lockset
+// is empty.
+//
+// Three passes feed the verdict:
+//
+//  1. Guarded-by inference. Every function body and function literal is one
+//     analysis unit; the lock-order check's held-set dataflow (lockFlow)
+//     yields the intra-unit lock classes in force at each field access, and
+//     the interprocedural entry set (pass 3) is unioned in. Accesses in a
+//     unit's ownership phase (through a local the unit itself constructed)
+//     and //livenas:allow race-guard sites are withheld from the tally —
+//     PR-6 fact-withholding semantics: a suppressed bare access neither
+//     votes against the guard nor reports.
+//
+//  2. Concurrency reachability, reusing the goroutine-leak check's
+//     go-statement modeling: the static callees of go statements and every
+//     call made inside a go'd literal seed a walk over the call graph;
+//     functions reachable from those seeds run on more than one goroutine
+//     root (the initial goroutine plus at least one spawn). Accesses inside
+//     a spawned literal, in a seed-reachable function, or textually after
+//     the first go statement of their own unit count as concurrent;
+//     everything else is the init-then-publish ownership phase and is
+//     exempt.
+//
+//  3. Locks-held-on-entry (FuncSummary.EntryLocks), propagated top-down
+//     along static call edges: a function's entry set is the intersection
+//     over all its static call sites of the locks held there (caller entry
+//     set included), with go-spawn sites contributing the empty set because
+//     a goroutine starts lock-free. A helper called only under mu.Lock()
+//     therefore inherits the lock and is not flagged.
+//
+// Fields accessed through sync/atomic anywhere defer entirely to the
+// atomic-consistency check, and fields of sync/sync-atomic type are never
+// tracked (mutex-hygiene territory).
+//
+// Global: the guard of a field is inferred from accesses in arbitrary
+// packages, so a finding in package P can appear or vanish when any other
+// package changes — the same soundness reasoning that makes lock-order
+// global. The incremental driver keys its cache on the whole target set.
+var RaceGuard = &Check{
+	Name: raceGuardName,
+	Doc: "a struct field is lock-guarded on the majority of its accesses " +
+		"module-wide but this concurrently-reachable access holds no lock; " +
+		"acquire the inferred guard, or annotate a proven-safe site with " +
+		"//livenas:allow race-guard",
+	RunModule: runRaceGuard,
+	Global:    true,
+}
+
+// raceGuardName is the registry name, as a constant so the runner can refer
+// to it without an initialization cycle through the Check variable.
+const raceGuardName = "race-guard"
+
+// rgUnit is one analysis unit: a declared function body, or one function
+// literal nested in it. Literals are separate units because their lockset
+// context differs — a go'd literal starts lock-free on a fresh goroutine,
+// any other literal is assumed to run where it was created, under the held
+// set at its statement.
+type rgUnit struct {
+	fi      *FuncInfo
+	lit     *ast.FuncLit // nil for the declaration unit
+	parent  *rgUnit      // enclosing unit for literals
+	spawned bool         // launched by a go statement
+	litHeld heldFact     // parent's intra-unit held set at the literal
+	firstGo token.Pos    // first go statement in this unit, or NoPos
+
+	calls []rgCall
+	owned map[types.Object]bool // locals constructed by this unit
+}
+
+// rgAccess is one syntactic field access.
+type rgAccess struct {
+	field    *types.Var
+	pos      token.Pos
+	held     heldFact // intra-unit held set (entry set unioned in later)
+	unit     *rgUnit
+	write    bool
+	owned    bool // base chain roots at a unit-constructed local
+	withheld bool // //livenas:allow race-guard covers the site
+}
+
+// rgCall is one static call site, with the intra-unit held set in force.
+type rgCall struct {
+	callee *types.Func
+	held   heldFact
+	spawn  bool // go f(...): the callee starts lock-free
+}
+
+type raceGuard struct {
+	p            *ModulePass
+	units        []*rgUnit
+	accesses     []*rgAccess // module order: sorted decls, walk order within
+	fieldName    map[*types.Var]string
+	atomicFields map[*types.Var]bool
+	concurrent   map[*types.Func]bool
+	entry        map[*types.Func]heldFact
+}
+
+func runRaceGuard(p *ModulePass) {
+	rg := &raceGuard{
+		p:            p,
+		fieldName:    map[*types.Var]string{},
+		atomicFields: map[*types.Var]bool{},
+	}
+	rg.indexFields()
+	if len(rg.fieldName) == 0 {
+		return
+	}
+	nodes := make([]*FuncInfo, 0, len(p.Mod.Graph.Nodes))
+	nodes = append(nodes, p.Mod.Graph.Nodes...)
+	sortNodesByPos(nodes)
+	for _, fi := range nodes {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		rg.collectUnit(fi, fi.Decl.Body, nil, nil, false, nil)
+	}
+	rg.markConcurrent()
+	rg.propagateEntryLocks()
+	rg.report()
+}
+
+// indexFields names every field of a package-level named struct type in the
+// module, skipping fields whose type lives in sync or sync/atomic: those
+// synchronize themselves and belong to mutex-hygiene / atomic-consistency.
+func (rg *raceGuard) indexFields() {
+	for _, pkg := range rg.p.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, nm := range fld.Names {
+							v, ok := pkg.Info.Defs[nm].(*types.Var)
+							if !ok || syncFamilyType(v.Type()) {
+								continue
+							}
+							rg.fieldName[v] = pkg.Path + "." + ts.Name.Name + "." + nm.Name
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// syncFamilyType reports whether t (possibly behind a pointer) is declared
+// in sync or sync/atomic.
+func syncFamilyType(t types.Type) bool {
+	named := namedTypeOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// collectUnit runs the held-set dataflow over one body and records its field
+// accesses, static call sites, spawn points, and owned locals. Literals met
+// along the way recurse as child units.
+func (rg *raceGuard) collectUnit(fi *FuncInfo, body *ast.BlockStmt, lit *ast.FuncLit, parent *rgUnit, spawned bool, litHeld heldFact) {
+	u := &rgUnit{
+		fi: fi, lit: lit, parent: parent, spawned: spawned, litHeld: litHeld,
+		owned: map[types.Object]bool{},
+	}
+	rg.units = append(rg.units, u)
+	pkg := fi.Pkg
+	flow := &lockFlow{pkg: pkg}
+	cfg := BuildCFG(body)
+	facts := Forward(cfg, flow)
+	WalkFacts(cfg, flow, facts, func(stmt ast.Stmt, before Fact) {
+		held := before.(heldFact)
+		writes := stmtWrites(stmt)
+		switch st := stmt.(type) {
+		case *ast.GoStmt:
+			if u.firstGo == token.NoPos {
+				u.firstGo = st.Pos()
+			}
+			if inner, ok := unparen(st.Call.Fun).(*ast.FuncLit); ok {
+				rg.collectUnit(fi, inner.Body, inner, u, true, copyHeld(held))
+			} else {
+				if callee := StaticCallee(pkg.Info, st.Call); callee != nil {
+					u.calls = append(u.calls, rgCall{callee: callee, held: copyHeld(held), spawn: true})
+				}
+				// The receiver chain is still evaluated on this goroutine.
+				if sel, ok := unparen(st.Call.Fun).(*ast.SelectorExpr); ok {
+					rg.walkExpr(u, sel.X, held, writes)
+				}
+			}
+			for _, a := range st.Call.Args {
+				rg.walkExpr(u, a, held, writes)
+			}
+		case *ast.DeferStmt:
+			// Deferred calls run at exit; the lock-then-defer-unlock shape
+			// makes the registration-time held set the right approximation
+			// (lockOps keeps deferred unlocks out of the flow).
+			rg.walkExpr(u, st.Call, held, writes)
+		default:
+			for _, e := range ExprsOf(stmt) {
+				rg.walkExpr(u, e, held, writes)
+			}
+			rg.noteOwned(u, stmt)
+		}
+	})
+}
+
+// walkExpr records accesses and calls in one header expression, recursing
+// into child units at literal boundaries.
+func (rg *raceGuard) walkExpr(u *rgUnit, expr ast.Expr, held heldFact, writes map[ast.Expr]bool) {
+	pkg := u.fi.Pkg
+	exemptSel := map[ast.Expr]bool{}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			rg.collectUnit(u.fi, e.Body, e, u, false, copyHeld(held))
+			return false
+		case *ast.UnaryExpr:
+			// Address-taken counts as a write: the pointer can escape.
+			if e.Op == token.AND {
+				writes[unparen(e.X)] = true
+			}
+		case *ast.CallExpr:
+			if isAtomicPkgFunc(pkg.Info, e) && len(e.Args) > 0 {
+				if obj, _ := atomicTargetObj(pkg.Info, e.Args[0]); obj != nil {
+					if v, ok := obj.(*types.Var); ok && v.IsField() {
+						rg.atomicFields[v] = true
+					}
+					if uo, ok := unparen(e.Args[0]).(*ast.UnaryExpr); ok {
+						exemptSel[unparen(uo.X)] = true
+					}
+				}
+				return true
+			}
+			if callee := StaticCallee(pkg.Info, e); callee != nil {
+				u.calls = append(u.calls, rgCall{callee: callee, held: copyHeld(held)})
+			}
+		case *ast.SelectorExpr:
+			if exemptSel[e] {
+				return true // the atomic op itself; base chain still read
+			}
+			sel, ok := pkg.Info.Selections[e]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, tracked := rg.fieldName[fv]; !tracked {
+				return true
+			}
+			a := &rgAccess{
+				field: fv,
+				pos:   e.Sel.Pos(),
+				held:  copyHeld(held),
+				unit:  u,
+				write: writes[e],
+				owned: u.owned[rootObj(pkg, e.X)],
+				withheld: rg.p.supp.suppressed(
+					raceGuardName, pkg.Fset.Position(e.Sel.Pos())),
+			}
+			rg.accesses = append(rg.accesses, a)
+		}
+		return true
+	})
+}
+
+// stmtWrites marks the expressions a statement assigns to.
+func stmtWrites(stmt ast.Stmt) map[ast.Expr]bool {
+	writes := map[ast.Expr]bool{}
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		for _, l := range st.Lhs {
+			writes[unparen(l)] = true
+		}
+	case *ast.IncDecStmt:
+		writes[unparen(st.X)] = true
+	}
+	return writes
+}
+
+// noteOwned records locals the unit constructs itself (x := &T{...}, T{...},
+// or new(T)): accesses through them are the init-then-publish ownership
+// phase — nothing else can hold the value yet — and are exempt from both the
+// guard tally and reporting. Child units never inherit ownership: a value
+// captured by a spawned literal is shared by definition.
+func (rg *raceGuard) noteOwned(u *rgUnit, stmt ast.Stmt) {
+	pkg := u.fi.Pkg
+	note := func(name *ast.Ident, val ast.Expr) {
+		if name == nil || val == nil || !isFreshValue(pkg, val) {
+			return
+		}
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			obj = pkg.Info.Uses[name]
+		}
+		if obj != nil && !isPackageLevel(obj) {
+			u.owned[obj] = true
+		}
+	}
+	switch st := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) != len(st.Rhs) {
+			return
+		}
+		for i, l := range st.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok {
+				note(id, unparen(st.Rhs[i]))
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != len(vs.Values) {
+				continue
+			}
+			for i, nm := range vs.Names {
+				note(nm, unparen(vs.Values[i]))
+			}
+		}
+	}
+}
+
+// isFreshValue reports whether e constructs a brand-new value: a composite
+// literal, its address, or a call to the new builtin.
+func isFreshValue(pkg *Package, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, ok := unparen(v.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(v.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootObj resolves the object at the root of a selector/index/deref chain.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := pkg.Info.Uses[x]; o != nil {
+				return o
+			}
+			return pkg.Info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// markConcurrent seeds the goroutine-reachability walk: static callees of go
+// statements, plus every call made from inside a spawned literal (or a
+// literal nested in one), then the closure over static call edges.
+func (rg *raceGuard) markConcurrent() {
+	inSpawnChain := func(u *rgUnit) bool {
+		for ; u != nil; u = u.parent {
+			if u.spawned {
+				return true
+			}
+		}
+		return false
+	}
+	rg.concurrent = map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if rg.concurrent[fn] {
+			return
+		}
+		rg.concurrent[fn] = true
+		if fi := rg.p.Mod.Graph.Funcs[fn]; fi != nil {
+			for _, callee := range fi.Callees {
+				visit(callee.Obj)
+			}
+		}
+	}
+	for _, u := range rg.units {
+		chain := inSpawnChain(u)
+		for _, c := range u.calls {
+			if c.spawn || chain {
+				visit(c.callee)
+			}
+		}
+	}
+}
+
+// unitConcurrent reports whether code in u runs on more than one goroutine
+// root: the unit (or an ancestor literal) was go'd, or its function is
+// reachable from a spawn seed through the call graph.
+func (rg *raceGuard) unitConcurrent(u *rgUnit) bool {
+	for v := u; v != nil; v = v.parent {
+		if v.spawned {
+			return true
+		}
+	}
+	return rg.concurrent[u.fi.Obj]
+}
+
+// accessConcurrent adds the intra-unit phase split: even in a function that
+// is itself single-rooted, accesses after its first go statement race with
+// the goroutine it just spawned. Everything before the first spawn is the
+// init-then-publish ownership phase.
+func (rg *raceGuard) accessConcurrent(a *rgAccess) bool {
+	if rg.unitConcurrent(a.unit) {
+		return true
+	}
+	return a.unit.firstGo != token.NoPos && a.pos > a.unit.firstGo
+}
+
+// propagateEntryLocks computes FuncSummary.EntryLocks: the intersection,
+// over every static call site of a function, of the locks held there (the
+// caller's own entry set included). Go-spawn sites contribute the empty set
+// — a goroutine starts lock-free. The propagation is top-down and monotone
+// increasing from the empty map, so the fixpoint is the least one: a lock is
+// only credited on entry when EVERY known call site holds it.
+func (rg *raceGuard) propagateEntryLocks() {
+	entry := map[*types.Func]heldFact{}
+	for iter := 0; iter < len(rg.units)+8; iter++ {
+		next := map[*types.Func]heldFact{}
+		for _, u := range rg.units {
+			eu := rg.unitEntry(u, entry)
+			for _, c := range u.calls {
+				if rg.p.Mod.Graph.Funcs[c.callee] == nil {
+					continue
+				}
+				var site heldFact
+				if !c.spawn {
+					site = unionHeld(c.held, eu)
+				}
+				if prev, seen := next[c.callee]; seen {
+					next[c.callee] = intersectHeld(prev, site)
+				} else {
+					next[c.callee] = copyHeld(site)
+				}
+			}
+		}
+		done := entrySetsEqual(entry, next)
+		entry = next
+		if done {
+			break
+		}
+	}
+	rg.entry = entry
+	for fn, e := range entry {
+		if sum := rg.p.Mod.Sums.Of(fn); sum != nil {
+			sum.EntryLocks = copyHeld(e)
+		}
+	}
+}
+
+// unitEntry is the lockset a unit starts with: a declared function gets its
+// propagated entry set, a spawned literal starts lock-free, and any other
+// literal runs where it was created — the held set at its statement plus the
+// parent's own entry.
+func (rg *raceGuard) unitEntry(u *rgUnit, entry map[*types.Func]heldFact) heldFact {
+	if u.lit == nil {
+		return entry[u.fi.Obj]
+	}
+	if u.spawned {
+		return nil
+	}
+	return unionHeld(u.litHeld, rg.unitEntry(u.parent, entry))
+}
+
+// report tallies the guard votes and flags bare concurrent accesses.
+func (rg *raceGuard) report() {
+	type tally struct {
+		total   int
+		byClass map[string]int
+	}
+	lockset := func(a *rgAccess) heldFact {
+		return unionHeld(a.held, rg.unitEntry(a.unit, rg.entry))
+	}
+	tallies := map[*types.Var]*tally{}
+	for _, a := range rg.accesses {
+		if a.owned || a.withheld || rg.atomicFields[a.field] {
+			continue
+		}
+		t := tallies[a.field]
+		if t == nil {
+			t = &tally{byClass: map[string]int{}}
+			tallies[a.field] = t
+		}
+		t.total++
+		for c := range lockset(a) {
+			t.byClass[c]++
+		}
+	}
+	guard := map[*types.Var]string{}
+	for f, t := range tallies {
+		classes := make([]string, 0, len(t.byClass))
+		for c := range t.byClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		best, bestN := "", 0
+		for _, c := range classes {
+			if t.byClass[c] > bestN {
+				best, bestN = c, t.byClass[c]
+			}
+		}
+		// Strict majority with at least two guarded accesses: one locked
+		// access among one or two total is a coincidence, not a protocol.
+		if bestN >= 2 && bestN*2 > t.total {
+			guard[f] = best
+		}
+	}
+	for _, a := range rg.accesses {
+		g, guarded := guard[a.field]
+		if !guarded || a.owned || a.withheld || rg.atomicFields[a.field] {
+			continue
+		}
+		if len(lockset(a)) > 0 || !rg.accessConcurrent(a) {
+			continue
+		}
+		verb := "read of"
+		if a.write {
+			verb = "write to"
+		}
+		rg.p.Reportf(a.pos,
+			"bare %s %s, whose accesses elsewhere hold %s: this site is concurrently reachable with an empty lockset; acquire the guard or annotate //livenas:allow race-guard",
+			verb, rg.fieldName[a.field], g)
+	}
+}
+
+// copyHeld clones a held set (nil-safe, never returns nil).
+func copyHeld(f heldFact) heldFact {
+	out := make(heldFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// unionHeld returns a ∪ b without mutating either (shares when one is empty).
+func unionHeld(a, b heldFact) heldFact {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(heldFact, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// intersectHeld returns a ∩ b without mutating either.
+func intersectHeld(a, b heldFact) heldFact {
+	out := heldFact{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func entrySetsEqual(a, b map[*types.Func]heldFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fn, av := range a {
+		bv, ok := b[fn]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k := range av {
+			if !bv[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

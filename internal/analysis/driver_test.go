@@ -288,6 +288,153 @@ func AthenB(a *locks.A, b *locks.B) {
 	}
 }
 
+// TestDriverRaceGuardDeterministic requires race-guard's driver output to
+// be byte-identical across parallelism levels and across cold/warm cache
+// states: the guard tally, the concurrency closure, and the EntryLocks
+// fixpoint must all be functions of the sources alone.
+func TestDriverRaceGuardDeterministic(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "raceguard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, jobs := range []int{1, 2, 8} {
+		res, err := RunDriver(root, "fix", DriverOptions{Checks: []*Check{RaceGuard}, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(res.Diags) == 0 {
+			t.Fatalf("jobs=%d: no findings; the fixture seeds a race", jobs)
+		}
+		got := renderDriver(t, res, root)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("jobs=%d: output differs from jobs=1:\n%s\n--- vs ---\n%s", jobs, got, want)
+		}
+	}
+
+	cacheDir := t.TempDir()
+	cold, err := RunDriver(root, "fix", DriverOptions{Checks: []*Check{RaceGuard}, Jobs: 2, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderDriver(t, cold, root); got != want {
+		t.Errorf("cold cached output differs from uncached output:\n%s", got)
+	}
+	warm, err := RunDriver(root, "fix", DriverOptions{Checks: []*Check{RaceGuard}, Jobs: 8, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.GlobalRan || !warm.Stats.GlobalReused || warm.Stats.Loaded != 0 {
+		t.Errorf("warm run: GlobalRan=%v GlobalReused=%v Loaded=%d, want cached with nothing loaded",
+			warm.Stats.GlobalRan, warm.Stats.GlobalReused, warm.Stats.Loaded)
+	}
+	if got := renderDriver(t, warm, root); got != want {
+		t.Errorf("warm cached output differs from cold output:\n%s", got)
+	}
+}
+
+// TestDriverRaceGuardCrossPackage pins race-guard's Global caching contract
+// on the tally split the fixture was built around: the accesses that vote
+// Mu into Box.N's guard live in fix/guarded, the flagged bare access lives
+// in fix/bare, and fix/bare does NOT import fix/guarded — so the verdict in
+// bare depends on a package outside its dependency closure. Editing either
+// the accessor package or the guarded field's own package must invalidate
+// the cached global findings.
+func TestDriverRaceGuardCrossPackage(t *testing.T) {
+	root := copyFixtureModule(t, "raceguard")
+	cacheDir := t.TempDir()
+	opts := DriverOptions{Checks: []*Check{RaceGuard}, Jobs: 2, CacheDir: cacheDir}
+
+	run := func() *DriverResult {
+		t.Helper()
+		res, err := RunDriver(root, "fix", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	guardedPath := filepath.Join(root, "guarded", "guarded.go")
+	locked, err := os.ReadFile(guardedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlocked := []byte(`// Package guarded now touches the box without its lock: no lock class
+// reaches a majority of Box.N's accesses, so no guard is inferred anywhere.
+package guarded
+
+import "fix/state"
+
+func Inc(b *state.Box) { b.N++ }
+
+func Get(b *state.Box) int { return b.N }
+`)
+
+	cold := run()
+	if !cold.Stats.GlobalRan {
+		t.Fatal("cold run: race-guard was not treated as a Global check")
+	}
+	if len(cold.Diags) != 1 || cold.Diags[0].PkgPath != "fix/bare" {
+		t.Fatalf("cold run: got %v, want exactly one finding in fix/bare", cold.Diags)
+	}
+	want := renderDriver(t, cold, root)
+
+	warm := run()
+	if warm.Stats.GlobalRan || !warm.Stats.GlobalReused || warm.Stats.Loaded != 0 {
+		t.Errorf("warm run: GlobalRan=%v GlobalReused=%v Loaded=%d, want cached with nothing loaded",
+			warm.Stats.GlobalRan, warm.Stats.GlobalReused, warm.Stats.Loaded)
+	}
+	if got := renderDriver(t, warm, root); got != want {
+		t.Errorf("warm findings differ from cold:\n%s\n--- vs ---\n%s", got, want)
+	}
+
+	// Drop the locks in the accessor package: Box.N loses its inferred
+	// guard module-wide, so bare's finding must disappear even though
+	// bare's own dependency closure never changed.
+	if err := os.WriteFile(guardedPath, unlocked, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dropped := run()
+	if !dropped.Stats.GlobalRan {
+		t.Error("after unlocking fix/guarded: race-guard served from cache, want a fresh run")
+	}
+	if len(dropped.Diags) != 0 {
+		t.Errorf("after unlocking fix/guarded: phantom findings persist:\n%s", renderDriver(t, dropped, root))
+	}
+
+	// An edit to the guarded field's own package must also invalidate the
+	// cached (now empty) global result.
+	statePath := filepath.Join(root, "state", "state.go")
+	stateSrc, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, append(stateSrc, []byte("\n// cache-invalidation probe\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stateEdit := run()
+	if !stateEdit.Stats.GlobalRan {
+		t.Error("after editing fix/state: race-guard served from cache, want a fresh run")
+	}
+	if len(stateEdit.Diags) != 0 {
+		t.Errorf("after editing fix/state: unexpected findings:\n%s", renderDriver(t, stateEdit, root))
+	}
+
+	// Restore the accessors: the guard majority re-forms and the finding
+	// must come back, byte-identical to the cold run.
+	if err := os.WriteFile(guardedPath, locked, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restored := run()
+	if !restored.Stats.GlobalRan {
+		t.Error("after restoring fix/guarded: race-guard served from cache, want a fresh run")
+	}
+	if got := renderDriver(t, restored, root); got != want {
+		t.Errorf("findings after restore differ from cold run:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
 // TestDriverBrokenTypeCheckNotCached: findings computed from a package set
 // that type-checked with soft errors must not enter the facts cache — a
 // warm run would otherwise replay them without the warnings that explain

@@ -28,7 +28,12 @@ type pkgMeta struct {
 	Dir     string   // absolute source directory
 	Files   []string // buildable non-test file names, sorted
 	Imports []string // module-internal imports, sorted, deduplicated
-	hash    string   // hex SHA-256 of the package's own file contents
+	// hash is the hex SHA-256 of the package's own file contents: the
+	// buildable Go files plus the directory's assembly files and
+	// constraint-excluded Go files, which never reach the type-checker but
+	// are read by the asm-abi check — an edit to either side of a build
+	// partition must invalidate the package's cache entries.
+	hash string
 }
 
 // moduleIndex indexes every package of one module by import path.
@@ -88,6 +93,32 @@ func buildableFiles(dir string) ([]string, error) {
 			continue
 		}
 		files = append(files, name)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// unbuildableSources lists dir's non-test files that the loader skips but a
+// check may still read: assembly files and Go files excluded by build
+// constraints. buildable is the sorted buildableFiles result for dir.
+func unbuildableSources(dir string, buildable []string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	inBuild := map[string]bool{}
+	for _, name := range buildable {
+		inBuild[name] = true
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasSuffix(name, ".s") || (strings.HasSuffix(name, ".go") && !inBuild[name]) {
+			files = append(files, name)
+		}
 	}
 	sort.Strings(files)
 	return files, nil
@@ -154,6 +185,17 @@ func indexModule(root, modPath, salt string) (*moduleIndex, error) {
 			}
 		}
 		sort.Strings(meta.Imports)
+		extras, err := unbuildableSources(dir, files)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range extras {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "\x01%s\x00%d\x00%s", name, len(data), data)
+		}
 		meta.hash = hex.EncodeToString(h.Sum(nil))
 		idx.Pkgs[ip] = meta
 		idx.Paths = append(idx.Paths, ip)

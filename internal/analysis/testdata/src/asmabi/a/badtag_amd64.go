@@ -1,0 +1,7 @@
+//go:build amd64
+
+package asmfix // want asm-abi
+
+// tagless's stub sits behind a constraint missing !purego: on a
+// purego-on-amd64 build this declaration collides with the twin.
+func tagless()

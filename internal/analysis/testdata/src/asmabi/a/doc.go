@@ -1,0 +1,6 @@
+// Package asmfix exercises the asm-abi hygiene check: kern_amd64.s defines
+// six symbols — ok (fully conformant), orphan (no stub), lonely (stub but
+// no purego twin), mismatch (twin signature disagrees), tagless (stub lives
+// in a file whose constraint does not partition), allowed (no stub, silenced
+// with an //livenas:allow directive above the TEXT line).
+package asmfix

@@ -1,0 +1,14 @@
+//go:build !amd64 || purego
+
+package asmfix
+
+// Pure-Go twins of the assembly kernels.
+
+func ok(n int, p *int16) {
+	_ = n
+	_ = p
+}
+
+func tagless() {}
+
+func mismatch(n int32) int32 { return n } // want asm-abi

@@ -1,0 +1,27 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func ok(n int, p *int16)
+TEXT ·ok(SB), NOSPLIT, $0-16
+	RET
+
+// func orphan()
+TEXT ·orphan(SB), NOSPLIT, $0-0 // want asm-abi
+	RET
+
+// func lonely(p *int32)
+TEXT ·lonely(SB), NOSPLIT, $0-8
+	RET
+
+// func mismatch(n int) int32
+TEXT ·mismatch(SB), NOSPLIT, $0-16
+	RET
+
+// func tagless()
+TEXT ·tagless(SB), NOSPLIT, $0-0
+	RET
+
+//livenas:allow asm-abi feature-detection shim, meaningless outside amd64
+TEXT ·allowed(SB), NOSPLIT, $0-0
+	RET

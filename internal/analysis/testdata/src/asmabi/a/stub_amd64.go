@@ -1,0 +1,18 @@
+//go:build amd64 && !purego
+
+package asmfix
+
+// ok has an assembly body, this stub, and a matching twin: conformant.
+//
+//go:noescape
+func ok(n int, p *int16)
+
+// lonely has no purego twin anywhere.
+//
+//go:noescape
+func lonely(p *int32) // want asm-abi
+
+// mismatch's twin disagrees on the parameter type.
+//
+//go:noescape
+func mismatch(n int) int32

@@ -1,0 +1,37 @@
+// Package bare holds the racy access: a spawned goroutine reads Box.N with
+// an empty lockset while the rest of the module guards it with Mu.
+package bare
+
+import (
+	"sync"
+
+	"fix/state"
+)
+
+// Race reads N bare from a spawned goroutine — the true race.
+func Race(b *state.Box) int {
+	var wg sync.WaitGroup
+	out := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out = b.N // want race-guard
+	}()
+	wg.Wait()
+	return out
+}
+
+// Audited also reads bare from a goroutine, but the site carries an allow
+// directive: withheld from both the guard tally and the report.
+func Audited(b *state.Box) int {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//livenas:allow race-guard the audit hook runs while every writer is parked on wg.Wait
+		n = b.N
+	}()
+	wg.Wait()
+	return n
+}

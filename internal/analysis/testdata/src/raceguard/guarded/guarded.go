@@ -1,0 +1,34 @@
+// Package guarded holds the lock-respecting accessors of state.Box.N. Its
+// three guarded accesses (two direct, one through the bump helper that
+// inherits the lock via EntryLocks) form the majority that infers Mu as
+// N's guard.
+package guarded
+
+import "fix/state"
+
+// Inc is a guarded write.
+func Inc(b *state.Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.N++
+}
+
+// Get is a guarded read.
+func Get(b *state.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.N
+}
+
+// Add takes the lock and delegates to bump.
+func Add(b *state.Box, d int) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	bump(b, d)
+}
+
+// bump accesses N with no lock operation of its own, but its only call site
+// holds b.Mu, so EntryLocks propagation keeps it quiet. Not a finding.
+func bump(b *state.Box, d int) {
+	b.N += d
+}

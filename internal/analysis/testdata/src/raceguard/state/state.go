@@ -1,0 +1,23 @@
+// Package state defines the shared Box whose N field the sibling packages
+// access: guarded accessors live in fix/guarded (the majority that makes Mu
+// the inferred guard), the bare concurrent access lives in fix/bare. Keeping
+// the tally votes out of this package means a finding in fix/bare changes
+// when fix/guarded changes — packages outside fix/bare's dependency closure
+// — which is what makes race-guard a Global check.
+package state
+
+import "sync"
+
+// Box is shared counter state: N is guarded by Mu wherever it is shared.
+type Box struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// NewBox writes N bare, but through a local it just constructed: the
+// ownership phase before the value is published. Not a finding.
+func NewBox(seed int) *Box {
+	b := &Box{}
+	b.N = seed
+	return b
+}

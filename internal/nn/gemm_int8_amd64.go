@@ -24,9 +24,13 @@ func qkern4x8s(kk2 int, a *int16, b *int16, bn int, c *int32, cn int)
 func qrequant(n8 int, acc *int32, m, bh float32, out *int16)
 
 // cpuid executes CPUID with the given leaf/subleaf.
+//
+//livenas:allow asm-abi privileged-instruction wrapper for amd64 feature detection; no pure-Go equivalent exists and no other build can reach it
 func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
 // xgetbv0 reads XCR0 (requires OSXSAVE, checked by the caller).
+//
+//livenas:allow asm-abi privileged-instruction wrapper for amd64 feature detection; no pure-Go equivalent exists and no other build can reach it
 func xgetbv0() (eax, edx uint32)
 
 // cpuHasAVX2 reports AVX2 usable: CPU support plus OS-enabled YMM state

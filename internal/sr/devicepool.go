@@ -41,7 +41,11 @@ func NewDevicePool(dev Device, n int) *DevicePool {
 func (p *DevicePool) Device() Device { return p.dev }
 
 // Total returns the pool size in GPU slots.
-func (p *DevicePool) Total() int { return p.total }
+func (p *DevicePool) Total() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
 
 // InUse returns the currently held slot count.
 func (p *DevicePool) InUse() int {

@@ -127,10 +127,19 @@ func (m *Model) ParamCount() int {
 }
 
 // Clone returns a deep copy (weights and architecture, fresh grad buffers
-// and a fresh arena) sharing the source model's kernel pool.
+// and a fresh arena) sharing the source model's kernel pool. The pool is
+// snapshotted under the read lock — SetKernelPool may race with a clone
+// otherwise — and released before the weight copy, which takes the locks in
+// CopyWeightsFrom's documented order. Scale and Channels are immutable
+// after construction and need no lock.
 func (m *Model) Clone() *Model {
+	pool := func() *nn.Pool {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		return m.pool
+	}()
 	c := NewModel(m.Scale, m.Channels, 0)
-	c.SetKernelPool(m.pool)
+	c.SetKernelPool(pool)
 	c.CopyWeightsFrom(m)
 	return c
 }

@@ -96,8 +96,12 @@ func (p *Processor) GPUs() int { return p.gpus }
 // (sr_quant_patches: cells in anytime mode, frames otherwise), the online
 // int8-vs-f32 PSNR gap (sr_quant_psnr_gap, dB) and frames whose anytime
 // budget could not be met even by full degradation (infer_deadline_miss).
-// Handles are held, so the per-frame cost is lock-free atomics only.
+// Handles are held, so the per-frame cost is lock-free atomics only. The
+// handle installation itself takes p.mu: a processor may already be serving
+// frames when telemetry is attached.
 func (p *Processor) SetTelemetry(reg *telemetry.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.mFrames = reg.Counter("sr_infer_frames")
 	p.mSyncs = reg.Counter("sr_infer_syncs")
 	p.mLatMS = reg.Histogram("sr_infer_latency_ms", telemetry.ExpBuckets(0.25, 1.5, 24))

@@ -232,6 +232,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil || !h.on.Load() {
 		return
 	}
+	//livenas:allow race-guard bounds and counts are assigned once under Registry.mu before the histogram is published and never reassigned; the buckets themselves are atomic — lock-free observation is this type's contract
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	h.n.Add(1)
 	h.sum.Add(v)

@@ -9,7 +9,9 @@
 #                         unchanged packages are never re-analyzed), short
 #                         tests, parallel sweep smoke (one small figure
 #                         sweep at -parallel 4)
-#   scripts/ci.sh full    merge tier: cold livenas-vet (no cache — proves
+#   scripts/ci.sh full    merge tier: go vet (stdlib asmdecl/copylocks — the
+#                         asm stubs and purego twins are its territory),
+#                         cold livenas-vet (no cache — proves
 #                         findings independently of cache state), full
 #                         tests, race tier (includes internal/sweep,
 #                         internal/fleet and the parallel vet driver), fuzz
@@ -26,7 +28,8 @@
 #                         concurrent streamers through the admission plan
 #                         and sweep execution under -race
 #   CI_ARTIFACTS=dir      collects the step table, the telemetry run
-#                         summary and pprof profiles into dir for upload
+#                         summary, pprof profiles and the cold analyzer
+#                         stats (vet_stats.txt) into dir for upload
 #
 # Each step is timed; the table goes to stdout and, when running under
 # GitHub Actions, to the job summary ($GITHUB_STEP_SUMMARY). When a step
@@ -138,6 +141,16 @@ summary_gate() {
     return "$rc"
 }
 
+# Nightly-only: record the cold full-check-set analyzer statistics next to
+# the pprof profiles, so an analyzer-cost regression caught by the vet gate
+# comes with the target/analyzed/loaded counts that explain it. The -stats
+# line goes to stderr; findings (none expected against the baseline) stay
+# visible in the log and in the artifact.
+vet_stats() {
+    go run ./cmd/livenas-vet -stats -baseline analysis/baseline.json ./... \
+        2>&1 | tee "$CI_ARTIFACTS/vet_stats.txt"
+}
+
 # Nightly-only: record cpu/heap profiles of the 1080p inference bench for
 # upload, so a perf regression caught by the bench gate comes with the
 # profile that explains it.
@@ -168,6 +181,7 @@ if [[ "$TIER" == "fast" ]]; then
 else
     FUZZTIME="${FUZZTIME:-10s}"
     step "go build" go build ./...
+    step "go vet" go vet ./...
     step "livenas-vet (cold)" go run ./cmd/livenas-vet -baseline analysis/baseline.json ./...
     step "go test" go test ./...
     # internal/nn rides along for the int8/strip-parallel kernel stress;
@@ -188,6 +202,7 @@ else
     step "vet gate" go run ./cmd/bench-compare -vet
     step "summary gate" summary_gate
     if [[ -n "${CI_ARTIFACTS:-}" ]]; then
+        step "vet stats" vet_stats
         step "pprof profiles" pprof_profiles
     fi
 fi
