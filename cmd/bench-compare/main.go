@@ -81,6 +81,9 @@ func main() {
 		fleet     = flag.Bool("fleet", false, "gate the fleet plan's throughput and admission determinism instead of the kernel benches")
 		fleetBase = flag.String("fleet-baseline", "BENCH_fleet.json", "committed fleet baseline JSON")
 		fleetCur  = flag.String("fleet-current", "", "pre-recorded fleetbench JSON to compare (default: run cmd/livenas-bench -fleetbench)")
+		edge      = flag.Bool("edge", false, "gate the edge fan-out plan's throughput and delivery determinism instead of the kernel benches")
+		edgeBase  = flag.String("edge-baseline", "BENCH_edge.json", "committed edge baseline JSON")
+		edgeCur   = flag.String("edge-current", "", "pre-recorded edgebench JSON to compare (default: run cmd/livenas-bench -edgebench)")
 	)
 	flag.Parse()
 
@@ -111,6 +114,14 @@ func main() {
 	if *fleet {
 		if err := fleetGate(*fleetBase, *fleetCur, *threshold, *retries); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-compare: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *edge {
+		if err := edgeGate(*edgeBase, *edgeCur, *threshold, *retries); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: edge: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -563,5 +574,112 @@ func validateSummary(path string) error {
 	fmt.Printf("summary ok: scheme=%s content=%s target=%.0f kbps (video %.0f / patch %.0f, share %.3f) duty=%.2f infer p50/p99 %.2f/%.2f ms\n",
 		s.Scheme, s.Content, s.AvgTargetKbps, s.AvgVideoKbps, s.AvgPatchKbps, s.PatchShare,
 		s.TrainerDutyCycle, s.InferP50MS, s.InferP99MS)
+	return nil
+}
+
+// edgeRecord mirrors cmd/livenas-bench's -edgebench JSON (BENCH_edge.json).
+type edgeRecord struct {
+	Schema      int     `json:"schema"`
+	Sims        int     `json:"sims"`
+	Viewers     int     `json:"viewers"`
+	Workers     int     `json:"workers"`
+	SerialS     float64 `json:"serial_s"`
+	ParallS     float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	SerialVPS   float64 `json:"viewers_per_sec_serial"`
+	ParallelVPS float64 `json:"viewers_per_sec_parallel"`
+	Delivered   int     `json:"delivered"`
+	SegP99MS    float64 `json:"seg_p99_ms"`
+}
+
+func readEdgeRecord(path string) (*edgeRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r edgeRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Sims <= 0 || r.Viewers <= 0 || r.Delivered <= 0 || r.SerialS <= 0 || r.ParallS <= 0 || r.Speedup <= 0 {
+		return nil, fmt.Errorf("%s: non-positive edge figures: %+v", path, r)
+	}
+	return &r, nil
+}
+
+// currentEdge loads path, or records a fresh edgebench run when empty.
+func currentEdge(path string) (*edgeRecord, error) {
+	if path != "" {
+		return readEdgeRecord(path)
+	}
+	tmp, err := os.CreateTemp("", "edge_current_*.json")
+	if err != nil {
+		return nil, err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	cmd := exec.Command("go", "run", "./cmd/livenas-bench", "-edgebench", tmp.Name())
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("livenas-bench -edgebench: %w", err)
+	}
+	return readEdgeRecord(tmp.Name())
+}
+
+// edgeGate compares the edge fan-out plan's execution against the
+// committed baseline the same way fleetGate does. The virtual-time
+// delivery p99 (and the delivered-segment count) is pure simulated time,
+// so it must match the baseline exactly on every host — a mismatch means
+// the fan-out plan itself changed or went nondeterministic. The parallel
+// speedup (viewers/sec at the worker pool over workers=1) is gated against
+// the baseline capped at this host's cores, threshold noise allowed,
+// skipped on a single core.
+func edgeGate(basePath, curPath string, threshold float64, retries int) error {
+	base, err := readEdgeRecord(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := currentEdge(curPath)
+	if err != nil {
+		return err
+	}
+	if cur.SegP99MS != base.SegP99MS {
+		return fmt.Errorf("delivery p99 %.3fms differs from baseline %.3fms: the virtual fan-out plan changed (simulated time cannot be host-dependent)",
+			cur.SegP99MS, base.SegP99MS)
+	}
+	if cur.Delivered != base.Delivered || cur.Viewers != base.Viewers || cur.Sims != base.Sims {
+		return fmt.Errorf("plan shape %d sims / %d viewers / %d delivered, baseline %d / %d / %d",
+			cur.Sims, cur.Viewers, cur.Delivered, base.Sims, base.Viewers, base.Delivered)
+	}
+	cores := runtime.NumCPU()
+	if cores < 2 {
+		fmt.Printf("edge gate: fan-out plan matches baseline (p99 %.1fms, %d delivered); single-core host, parallel speedup unmeasurable; skipping\n",
+			base.SegP99MS, base.Delivered)
+		return nil
+	}
+	want := base.Speedup
+	if lim := float64(cores); want > lim {
+		want = lim
+	}
+	want *= 1 - threshold
+	for attempt := 0; cur.Speedup < want && attempt < retries && curPath == ""; attempt++ {
+		fmt.Printf("edge gate: speedup x%.2f below x%.2f, retrying (wall-clock runs are noisy)\n",
+			cur.Speedup, want)
+		again, err := currentEdge("")
+		if err != nil {
+			return fmt.Errorf("retry: %w", err)
+		}
+		if again.SegP99MS != base.SegP99MS {
+			return fmt.Errorf("delivery p99 %.3fms differs from baseline %.3fms on retry", again.SegP99MS, base.SegP99MS)
+		}
+		if again.Speedup > cur.Speedup {
+			cur = again
+		}
+	}
+	fmt.Printf("edge gate: %d sims / %d viewers, %d workers: %.0f -> %.0f viewers/s = x%.2f (baseline x%.2f, floor x%.2f); delivery p99 %.1fms matches\n",
+		cur.Sims, cur.Viewers, cur.Workers, cur.SerialVPS, cur.ParallelVPS, cur.Speedup, base.Speedup, want, cur.SegP99MS)
+	if cur.Speedup < want {
+		return fmt.Errorf("parallel edge speedup x%.2f below floor x%.2f", cur.Speedup, want)
+	}
 	return nil
 }

@@ -22,8 +22,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
 	"time"
 
+	"livenas/internal/edge"
 	"livenas/internal/exp"
 	"livenas/internal/fleet"
 	"livenas/internal/sweep"
@@ -47,6 +50,7 @@ func main() {
 		fleetN     = flag.Int("fleet", 0, "fleet experiment streamer count N (0 = default 6)")
 		gpus       = flag.Int("gpus", 0, "fleet experiment GPU-pool size M (0 = default 2)")
 		fleetBench = flag.String("fleetbench", "", "time the fixed fleet plan serially and in parallel, write the JSON record to this file")
+		edgeBench  = flag.String("edgebench", "", "time the fixed edge fan-out plan serially and in parallel, write the JSON record to this file")
 		quant      = flag.Bool("quant", false, "route inference through the int8-quantized fast path (0.5 dB online quality gate)")
 		anytime    = flag.Duration("anytime", 0, "per-frame anytime-scheduling deadline, e.g. 33ms (0 = off; implies patch-level int8/f32/bilinear mixing)")
 	)
@@ -90,6 +94,11 @@ func main() {
 		}
 	case *fleetBench != "":
 		if err := runFleetBench(ctx, *fleetBench, o, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *edgeBench != "":
+		if err := runEdgeBench(*edgeBench, o, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -272,5 +281,104 @@ func runFleetBench(ctx context.Context, path string, o exp.Options, workers int)
 	}
 	fmt.Printf("fleet bench: %d streams on %d GPUs, %d sessions, serial %.2fs, parallel(%d) %.2fs, speedup x%.2f, admit p99 %.0fms -> %s\n",
 		rec.Streams, rec.GPUs, rec.Sessions, rec.SerialS, rec.Workers, rec.ParallS, rec.Speedup, rec.AdmitP99MS, path)
+	return nil
+}
+
+// edgeBenchRecord is the JSON layout of BENCH_edge.json: the serial and
+// parallel wall clock of running the same fixed edge fan-out plan, plus
+// the plan's worst virtual-time delivery p99. SegP99MS is pure simulated
+// time — identical on every host — so cmd/bench-compare checks it for
+// exact equality (a cross-host determinism pin), while the speedup ratio
+// is gated with noise tolerance like the sweep and fleet records.
+type edgeBenchRecord struct {
+	Schema      int     `json:"schema"`
+	Sims        int     `json:"sims"`
+	Viewers     int     `json:"viewers"`
+	Workers     int     `json:"workers"`
+	SerialS     float64 `json:"serial_s"`
+	ParallS     float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	SerialVPS   float64 `json:"viewers_per_sec_serial"`
+	ParallelVPS float64 `json:"viewers_per_sec_parallel"`
+	Delivered   int     `json:"delivered"`
+	SegP99MS    float64 `json:"seg_p99_ms"`
+}
+
+// runEdgeBench executes exp.EdgeBenchPlan serially and across a worker
+// pool, then writes the record to path. Each sim is single-threaded on
+// its own virtual clock, so the pool parallelises across sims.
+//
+//livenas:allow determinism-taint wall-clock benchmark record; never feeds results
+func runEdgeBench(path string, o exp.Options, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	plan := exp.EdgeBenchPlan(o)
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	run := func(w int) (time.Duration, []*edge.Result, error) {
+		start := time.Now()
+		results := make([]*edge.Result, len(plan))
+		errs := make([]error, len(plan))
+		sem := make(chan struct{}, w)
+		var wg sync.WaitGroup
+		for i := range plan {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = edge.RunSim(plan[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+		return time.Since(start), results, nil
+	}
+	// Serial first warms process-wide lazy state, like runSweepBench.
+	serial, results, err := run(1)
+	if err != nil {
+		return err
+	}
+	parallel, _, err := run(workers)
+	if err != nil {
+		return err
+	}
+	var viewers, delivered int
+	var p99 time.Duration
+	for _, r := range results {
+		viewers += r.Viewers
+		delivered += r.Delivered
+		if r.DeliveryP99 > p99 {
+			p99 = r.DeliveryP99
+		}
+	}
+	rec := edgeBenchRecord{
+		Schema:      1,
+		Sims:        len(plan),
+		Viewers:     viewers,
+		Workers:     workers,
+		SerialS:     serial.Seconds(),
+		ParallS:     parallel.Seconds(),
+		Speedup:     serial.Seconds() / parallel.Seconds(),
+		SerialVPS:   float64(viewers) / serial.Seconds(),
+		ParallelVPS: float64(viewers) / parallel.Seconds(),
+		Delivered:   delivered,
+		SegP99MS:    float64(p99) / float64(time.Millisecond),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("edge bench: %d sims, %d viewers, serial %.2fs, parallel(%d) %.2fs, speedup x%.2f, seg p99 %.1fms -> %s\n",
+		rec.Sims, rec.Viewers, rec.SerialS, rec.Workers, rec.ParallS, rec.Speedup, rec.SegP99MS, path)
 	return nil
 }

@@ -7,12 +7,12 @@ import (
 	"flag"
 	"log"
 	"math/rand"
-	"net"
 	"time"
 
 	"livenas/internal/codec"
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
+	"livenas/internal/transport"
 	"livenas/internal/vidgen"
 	"livenas/internal/wire"
 )
@@ -36,7 +36,7 @@ func main() {
 		}
 	}
 
-	conn, err := net.Dial("tcp", *connect)
+	conn, err := transport.Dial(*connect)
 	if err != nil {
 		log.Fatalf("connect: %v", err)
 	}
@@ -48,7 +48,7 @@ func main() {
 		patchSize        = 24
 	)
 	ingestW, ingestH := nativeW/scale, nativeH/scale
-	if err := wire.Write(conn, &wire.Message{
+	if err := conn.Send(&wire.Message{
 		Type:    wire.MsgHello,
 		Channel: *channel,
 		IngestW: ingestW, IngestH: ingestH,
@@ -60,22 +60,16 @@ func main() {
 
 	// Drain server stats in the background; a MsgBye here is the server
 	// refusing admission (duplicate channel key or saturated GPU pool).
-	go func() {
-		for {
-			m, err := wire.Read(conn)
-			if err != nil {
-				return
-			}
-			switch m.Type {
-			case wire.MsgStats:
-				log.Printf("server: epoch %d, SR gain %+.2f dB (%d samples)", m.Epochs, m.GainDB, m.Samples)
-			case wire.MsgBye:
-				log.Fatalf("server refused channel %q: %s", *channel, m.Reason)
-			default:
-				// Hello/video/patch flow client→server only; ignore echoes.
-			}
+	go transport.Pump(conn, func(m *wire.Message) {
+		switch m.Type {
+		case wire.MsgStats:
+			log.Printf("server: epoch %d, SR gain %+.2f dB (%d samples)", m.Epochs, m.GainDB, m.Samples)
+		case wire.MsgBye:
+			log.Fatalf("server refused channel %q: %s", *channel, m.Reason)
+		default:
+			// Hello/video/patch flow client→server only; ignore echoes.
 		}
-	}()
+	})
 
 	src := vidgen.NewSource(category, nativeW, nativeH, *seed, duration.Seconds()+10)
 	enc := codec.NewEncoder(codec.Config{Profile: codec.BX8, W: ingestW, H: ingestH, KeyInterval: int(*fps * 4)})
@@ -95,7 +89,7 @@ func main() {
 		raw := src.FrameAt(t.Seconds())
 		lr := raw.Downscale(scale)
 		ef := enc.Encode(lr, int(*kbps*1000 / *fps))
-		if err := wire.Write(conn, &wire.Message{
+		if err := conn.Send(&wire.Message{
 			Type: wire.MsgVideo, FrameID: frameID, Key: ef.Key, QP: ef.QP, Data: ef.Data,
 		}); err != nil {
 			log.Fatalf("send frame: %v", err)
@@ -114,7 +108,7 @@ func main() {
 					continue
 				}
 				hr := raw.Crop(cell.X, cell.Y, patchSize, patchSize)
-				if err := wire.Write(conn, &wire.Message{
+				if err := conn.Send(&wire.Message{
 					Type: wire.MsgPatch, FrameID: frameID, X: cell.X, Y: cell.Y,
 					Data: codec.EncodePatch(hr, codec.PatchQuality),
 				}); err != nil {
@@ -125,7 +119,7 @@ func main() {
 		}
 		frameID++
 	}
-	if err := wire.Write(conn, &wire.Message{Type: wire.MsgBye}); err != nil {
+	if err := conn.Send(&wire.Message{Type: wire.MsgBye}); err != nil {
 		log.Printf("bye: %v", err)
 	}
 	log.Printf("streamed %d frames over %v", //livenas:allow determinism-taint real-time client reports wall-clock duration

@@ -7,11 +7,18 @@
 // GPU pool of -gpus slots: a hello that would oversubscribe the pool (or
 // reuse a live channel key) is refused with a MsgBye carrying the reason.
 //
-// Pair it with cmd/livenas-client on the same machine:
+// The same listener is the distribution origin: a connection whose first
+// message is MsgSubscribe (cmd/livenas-edge relays, or a viewer directly)
+// is handed to the edge origin, which packages each live channel's
+// enhanced output into rolling-playlist segments — one segment per
+// training epoch, the SR-applied frame encoded at each ladder rung.
+//
+// Pair it with cmd/livenas-client and cmd/livenas-edge on the same machine:
 //
 //	livenas-server -listen :9455 -once=false -gpus 2 &
+//	livenas-edge -connect 127.0.0.1:9455 -listen :9456 &
 //	livenas-client -connect 127.0.0.1:9455 -channel alice -duration 20s &
-//	livenas-client -connect 127.0.0.1:9455 -channel bob -duration 20s
+//	livenas-edge -view alice -connect 127.0.0.1:9456
 package main
 
 import (
@@ -26,18 +33,20 @@ import (
 	"time"
 
 	"livenas/internal/codec"
+	"livenas/internal/edge"
 	"livenas/internal/frame"
 	"livenas/internal/metrics"
 	"livenas/internal/sr"
 	"livenas/internal/telemetry"
+	"livenas/internal/transport"
 	"livenas/internal/wire"
 )
 
 func main() {
 	var (
 		listen   = flag.String("listen", ":9455", "TCP listen address")
-		epochLen = flag.Duration("epoch", 5*time.Second, "training epoch length")
-		once     = flag.Bool("once", true, "exit after the first session")
+		epochLen = flag.Duration("epoch", 5*time.Second, "training epoch length (also the origin's segment duration)")
+		once     = flag.Bool("once", true, "exit after the first ingest session")
 		gpus     = flag.Int("gpus", 2, "simulated GPU pool size; each live session holds one slot")
 		debug    = flag.String("debug", "", "optional HTTP debug listen address "+
 			"(expvar at /debug/vars, registry snapshot at /debug/telemetry, "+
@@ -53,8 +62,9 @@ func main() {
 	}
 
 	node := &node{
-		live: map[string]bool{},
-		pool: sr.NewDevicePool(sr.RTX2080Ti(), *gpus),
+		live:   map[string]bool{},
+		pool:   sr.NewDevicePool(sr.RTX2080Ti(), *gpus),
+		origin: edge.NewOrigin(edge.NewWallClock(), 6, edge.NewTelemetry(reg)),
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -71,8 +81,8 @@ func main() {
 			serve(conn, *epochLen, reg, node)
 			return
 		}
-		// One goroutine per ingest session; the process's lifetime bounds
-		// them (the server runs until killed in multi-session mode).
+		// One goroutine per session; the process's lifetime bounds them
+		// (the server runs until killed in multi-session mode).
 		go serve(conn, *epochLen, reg, node)
 	}
 }
@@ -82,11 +92,13 @@ func main() {
 // runnable-demo counterpart of internal/fleet's virtual-clock Manager —
 // same invariants (unique live keys, all-or-nothing slot admission),
 // enforced against real concurrent connections instead of a planned
-// timeline.
+// timeline. It also owns the distribution origin every ingest session
+// publishes its enhanced output into.
 type node struct {
-	mu   sync.Mutex
-	live map[string]bool
-	pool *sr.DevicePool
+	mu     sync.Mutex
+	live   map[string]bool
+	pool   *sr.DevicePool
+	origin *edge.Origin
 }
 
 // admit reserves the channel key and one GPU slot; a non-empty refusal
@@ -110,6 +122,14 @@ func (n *node) release(key string) {
 	defer n.mu.Unlock()
 	delete(n.live, key)
 	n.pool.Release(1)
+}
+
+// originLadder is the demo distribution ladder, scaled to the demo's
+// 384x216 world like the client's bitrates are.
+var originLadder = []edge.RungInfo{
+	{Name: "low", Kbps: 100, EffectiveKbps: 100},
+	{Name: "mid", Kbps: 200, EffectiveKbps: 200},
+	{Name: "high", Kbps: 400, EffectiveKbps: 400},
 }
 
 // startDebug serves the process's introspection surface on its own HTTP
@@ -145,16 +165,39 @@ func startDebug(addr string, reg *telemetry.Registry) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *node) {
-	defer conn.Close()
-	log.Printf("ingest session from %s", conn.RemoteAddr())
+// serveEdge hands a subscriber connection to the origin: the first
+// subscribe is replayed into the handler, then the connection pumps until
+// it dies. Sends are queued so a slow subscriber never blocks publishes.
+func serveEdge(tc *transport.NetConn, first *wire.Message, n *node) {
+	qc := transport.NewQueuedConn(tc, 4<<20)
+	defer qc.Close()
+	//livenas:allow race-guard a received Message is owned by this connection's goroutine; Relay.mu guards relays' own state, not the wire type
+	log.Printf("edge subscriber from %s (channel %q)", tc.RemoteAddr(), first.Channel)
+	n.origin.Handle(qc, first)
+	err := transport.Pump(qc, func(m *wire.Message) { n.origin.Handle(qc, m) })
+	n.origin.RemoveConn(qc)
+	log.Printf("edge subscriber %s gone: %v", tc.RemoteAddr(), err)
+}
 
-	hello, err := wire.Read(conn)
-	if err != nil || hello.Type != wire.MsgHello {
-		log.Printf("bad hello: %v", err)
+func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *node) {
+	tc := transport.NewNetConn(conn)
+	defer tc.Close()
+	log.Printf("session from %s", conn.RemoteAddr())
+
+	hello, err := tc.Recv()
+	if err != nil {
+		log.Printf("bad first message: %v", err)
 		return
 	}
-	channel := hello.Channel
+	if hello.Type == wire.MsgSubscribe {
+		serveEdge(tc, hello, n)
+		return
+	}
+	if hello.Type != wire.MsgHello {
+		log.Printf("first message is %d, want hello or subscribe", hello.Type)
+		return
+	}
+	channel := hello.Channel //livenas:allow race-guard a received Message is owned by this connection's goroutine until handed off
 	if channel == "" {
 		// Pre-channel clients still get a session; key it by peer address
 		// so the admission bookkeeping stays uniform.
@@ -162,7 +205,7 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *no
 	}
 	if reason := n.admit(channel); reason != "" {
 		log.Printf("refusing %s (%s): %s", channel, conn.RemoteAddr(), reason)
-		if err := wire.Write(conn, &wire.Message{Type: wire.MsgBye, Channel: channel, Reason: reason}); err != nil {
+		if err := tc.Send(&wire.Message{Type: wire.MsgBye, Channel: channel, Reason: reason}); err != nil {
 			log.Printf("refusal write: %v", err)
 		}
 		return
@@ -171,6 +214,14 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *no
 	scale := hello.NativeW / hello.IngestW
 	log.Printf("stream %s: ingest %dx%d -> native %dx%d (x%d), %.0f fps",
 		channel, hello.IngestW, hello.IngestH, hello.NativeW, hello.NativeH, scale, hello.FPS)
+
+	// The channel goes live on the distribution origin too: each epoch
+	// publishes the SR-applied frame as one segment per ladder rung.
+	n.origin.AddChannel(channel, epochLen, originLadder)
+	segEncs := make([]*codec.Encoder, len(originLadder))
+	for i := range segEncs {
+		segEncs[i] = codec.NewEncoder(codec.Config{Profile: codec.BX8, W: hello.NativeW, H: hello.NativeH, KeyInterval: 1})
+	}
 
 	dec := codec.NewDecoder(codec.Config{Profile: codec.BX8, W: hello.IngestW, H: hello.IngestH})
 	model := sr.NewModel(scale, sr.DefaultChannels, 1)
@@ -200,14 +251,7 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *no
 	msgs := make(chan *wire.Message)
 	errc := make(chan error, 1)
 	go func() {
-		for {
-			m, err := wire.Read(conn)
-			if err != nil {
-				errc <- err
-				return
-			}
-			msgs <- m
-		}
+		errc <- transport.Pump(tc, func(m *wire.Message) { msgs <- m })
 	}()
 
 	for {
@@ -239,13 +283,20 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *no
 				telemetry.Num("loss", loss),
 				telemetry.Num("gain_cur_db", gain),
 			)
-			if err := wire.Write(conn, &wire.Message{Type: wire.MsgStats, Channel: channel, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
+			if err := tc.Send(&wire.Message{Type: wire.MsgStats, Channel: channel, GainDB: gain, Epochs: epochs, Samples: trainer.SampleCount()}); err != nil {
 				log.Printf("session %s ended after %d frames, %d patches, %d epochs: stats write: %v", channel, frames, patches, epochs, err)
 				return
 			}
 			if lastFrame != nil {
 				out, lat := proc.Process(lastFrame)
 				log.Printf("applied SR to latest frame: %dx%d (model-latency %v)", out.W, out.H, lat)
+				// Publish the enhanced frame as this epoch's segment at
+				// every ladder rung.
+				payloads := make([][]byte, len(originLadder))
+				for i, e := range segEncs {
+					payloads[i] = e.Encode(out, int(originLadder[i].Kbps*1000*epochLen.Seconds())).Data
+				}
+				n.origin.Publish(channel, payloads)
 			}
 		case m := <-msgs:
 			switch m.Type {
@@ -283,6 +334,9 @@ func serve(conn net.Conn, epochLen time.Duration, reg *telemetry.Registry, n *no
 				log.Printf("duplicate hello mid-session; ignoring")
 			case wire.MsgStats:
 				// Stats flow server→client only; a client echo is ignored.
+			default:
+				// Edge messages never arrive on an ingest connection
+				// (serveEdge owns those); tolerate and ignore.
 			}
 		}
 	}

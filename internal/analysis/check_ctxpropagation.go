@@ -37,7 +37,7 @@ var ContextPropagation = &Check{
 }
 
 // ctxScope: the packages whose ctx-taking functions are audited.
-var ctxScope = []string{"core", "sweep", "fleet", "transport", "sim", "sr", "nn", "cmd"}
+var ctxScope = []string{"core", "sweep", "fleet", "transport", "edge", "sim", "sr", "nn", "cmd"}
 
 // isContextType reports whether t is context.Context.
 func isContextType(t types.Type) bool {

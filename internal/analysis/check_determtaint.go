@@ -46,7 +46,7 @@ var DeterminismTaint = &Check{
 
 // determinismScope names the path segments of packages that must replay
 // deterministically (plus cmd, where wall clock needs explicit opt-in).
-var determinismScope = []string{"sim", "exp", "netem", "core", "sr", "sweep", "fleet", "cmd"}
+var determinismScope = []string{"sim", "exp", "netem", "core", "sr", "sweep", "fleet", "transport", "edge", "cmd"}
 
 // wallClockFuncs are the time package functions that read the wall clock.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

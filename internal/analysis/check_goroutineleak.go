@@ -26,7 +26,7 @@ var GoroutineLeak = &Check{
 }
 
 // goroutineScope: the packages whose go statements are audited.
-var goroutineScope = []string{"nn", "core", "transport", "sr", "sweep", "fleet"}
+var goroutineScope = []string{"nn", "core", "transport", "edge", "sr", "sweep", "fleet"}
 
 // goSignals describes how one goroutine body announces completion.
 type goSignals struct {

@@ -1,0 +1,268 @@
+package edge
+
+import (
+	"sort"
+	"sync"
+
+	"livenas/internal/transport"
+	"livenas/internal/wire"
+)
+
+// Relay is one interior node of the distribution tree: it subscribes to an
+// upstream origin (or another relay — the tree composes, the edge
+// experiment runs it two levels deep), forwards each playlist push
+// downstream verbatim, and serves segments from a pull-through cache. A
+// miss forwards one request upstream no matter how many downstream
+// subscribers are waiting (request coalescing), which is where the
+// origin-egress savings come from.
+//
+// Concurrency follows Origin: internal lock, event-driven entry points.
+type Relay struct {
+	mu       sync.Mutex
+	clock    Clock
+	tel      *Telemetry
+	up       transport.Conn
+	channels map[string]*relayChannel
+	egress   int64
+}
+
+type segKey struct{ index, rung int }
+
+type relayChannel struct {
+	raw []byte    // latest playlist bytes, forwarded verbatim downstream
+	pl  *Playlist // decoded view of raw
+	// Pull-through cache over the live window. Keys are evicted when a new
+	// playlist shows their index fell out of the window.
+	cache map[segKey]*Segment
+	// Coalesced misses: downstream conns waiting per key, in arrival order.
+	pending map[segKey][]transport.Conn
+	subs    []transport.Conn // downstream subscribers, subscription order
+}
+
+// NewRelay creates a relay over its upstream connection. The relay sends
+// MsgSubscribe upstream lazily, on the first downstream subscriber of each
+// channel (or eagerly via Subscribe).
+func NewRelay(clock Clock, up transport.Conn, tel *Telemetry) *Relay {
+	return &Relay{
+		clock:    clock,
+		tel:      tel,
+		up:       up,
+		channels: make(map[string]*relayChannel),
+	}
+}
+
+// Subscribe joins a channel upstream before any downstream viewer asks —
+// pre-warming the playlist path.
+func (r *Relay) Subscribe(channel string) error {
+	if !r.ensureChannel(channel) {
+		return nil // already subscribed upstream
+	}
+	//livenas:allow race-guard up is immutable after NewRelay; the send must stay outside r.mu (it can block on a real socket)
+	return r.up.Send(&wire.Message{Type: wire.MsgSubscribe, Channel: channel})
+}
+
+// ensureChannel creates the channel state on first interest, reporting
+// whether this call created it (and so owes the upstream subscribe).
+func (r *Relay) ensureChannel(channel string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.channels[channel]; ok {
+		return false
+	}
+	r.channels[channel] = newRelayChannel()
+	return true
+}
+
+func newRelayChannel() *relayChannel {
+	return &relayChannel{
+		cache:   make(map[segKey]*Segment),
+		pending: make(map[segKey][]transport.Conn),
+	}
+}
+
+// HandleUpstream processes one message from the upstream connection.
+func (r *Relay) HandleUpstream(m *wire.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch := r.channels[m.Channel]
+	if ch == nil {
+		return
+	}
+	switch m.Type {
+	case wire.MsgPlaylist:
+		pl, err := DecodePlaylist(m.Data)
+		if err != nil {
+			return // malformed upstream: keep the previous window
+		}
+		ch.raw, ch.pl = m.Data, pl
+		oldest := pl.Oldest()
+		for k := range ch.cache {
+			if k.index < oldest {
+				delete(ch.cache, k)
+			}
+		}
+		live := ch.subs[:0]
+		for _, c := range ch.subs {
+			fm := &wire.Message{Type: wire.MsgPlaylist, Channel: m.Channel, Data: ch.raw}
+			if err := c.Send(fm); err != nil {
+				continue
+			}
+			r.egress += int64(fm.WireSize())
+			r.tel.PlaylistPushes.Add(1)
+			live = append(live, c)
+		}
+		for i := len(live); i < len(ch.subs); i++ {
+			ch.subs[i] = nil
+		}
+		ch.subs = live
+	case wire.MsgSegment:
+		now := r.clock.Now()
+		if m.SentAtUS > 0 {
+			r.tel.HopLatency.Observe(float64(now.Microseconds()-m.SentAtUS) / 1000)
+		}
+		s := &Segment{
+			Channel: m.Channel, Index: m.FrameID, Rung: m.Rung,
+			Duration: durUS(m.SegDurUS), Data: m.Data, ID: m.SegID,
+		}
+		k := segKey{m.FrameID, m.Rung}
+		if ch.pl == nil || s.Index >= ch.pl.Oldest() {
+			ch.cache[k] = s
+		}
+		waiters := ch.pending[k]
+		delete(ch.pending, k)
+		for _, c := range waiters {
+			r.sendSegment(c, s)
+		}
+	default:
+		// Unknown or unrelated types: tolerated and ignored (wire contract).
+	}
+}
+
+// HandleDownstream processes one message from a downstream connection
+// (a viewer or a deeper relay — the protocol is the same).
+func (r *Relay) HandleDownstream(c transport.Conn, m *wire.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m.Type {
+	case wire.MsgSubscribe:
+		ch := r.channels[m.Channel]
+		if ch == nil {
+			// First interest in this channel: subscribe upstream too.
+			ch = newRelayChannel()
+			r.channels[m.Channel] = ch
+			r.up.Send(&wire.Message{Type: wire.MsgSubscribe, Channel: m.Channel})
+		}
+		for _, s := range ch.subs {
+			if s == c {
+				return
+			}
+		}
+		ch.subs = append(ch.subs, c)
+		if ch.raw != nil {
+			fm := &wire.Message{Type: wire.MsgPlaylist, Channel: m.Channel, Data: ch.raw}
+			if c.Send(fm) == nil {
+				r.egress += int64(fm.WireSize())
+				r.tel.PlaylistPushes.Add(1)
+			}
+		}
+	case wire.MsgSegmentReq:
+		ch := r.channels[m.Channel]
+		if ch == nil {
+			return
+		}
+		k := segKey{m.FrameID, m.Rung}
+		if s, ok := ch.cache[k]; ok {
+			r.sendSegment(c, s)
+			return
+		}
+		for _, w := range ch.pending[k] {
+			if w == c {
+				// The same conn asking again means its first wait timed out:
+				// the upstream request (or reply) was probably lost. Re-issue
+				// it rather than waiting forever on the old one.
+				r.up.Send(&wire.Message{Type: wire.MsgSegmentReq, Channel: m.Channel, FrameID: m.FrameID, Rung: m.Rung})
+				return
+			}
+		}
+		first := len(ch.pending[k]) == 0
+		ch.pending[k] = append(ch.pending[k], c)
+		if first {
+			r.up.Send(&wire.Message{Type: wire.MsgSegmentReq, Channel: m.Channel, FrameID: m.FrameID, Rung: m.Rung})
+		}
+	case wire.MsgBye:
+		r.dropLocked(c)
+	default:
+		// Unknown or unrelated types: tolerated and ignored (wire contract).
+	}
+}
+
+// sendSegment forwards one cached segment downstream. Callers hold r.mu.
+func (r *Relay) sendSegment(c transport.Conn, s *Segment) {
+	sm := &wire.Message{
+		Type: wire.MsgSegment, Channel: s.Channel,
+		FrameID: s.Index, Rung: s.Rung, SegID: s.ID,
+		SegDurUS: s.Duration.Microseconds(),
+		SentAtUS: r.clock.Now().Microseconds(),
+		Data:     s.Data,
+	}
+	if c.Send(sm) == nil {
+		r.egress += int64(sm.WireSize())
+		r.tel.SegsSent.Add(1)
+	}
+}
+
+// RemoveConn evicts a dead downstream connection everywhere.
+func (r *Relay) RemoveConn(c transport.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropLocked(c)
+}
+
+// dropLocked removes c from every channel's subscriber and waiter lists,
+// walking channels and waiter keys in sorted order so registry mutations
+// stay deterministic. Callers hold r.mu.
+func (r *Relay) dropLocked(c transport.Conn) {
+	names := make([]string, 0, len(r.channels))
+	for name := range r.channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch := r.channels[name]
+		for i, s := range ch.subs {
+			if s == c {
+				ch.subs = append(ch.subs[:i], ch.subs[i+1:]...)
+				break
+			}
+		}
+		keys := make([]segKey, 0, len(ch.pending))
+		for k := range ch.pending {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].index != keys[j].index {
+				return keys[i].index < keys[j].index
+			}
+			return keys[i].rung < keys[j].rung
+		})
+		for _, k := range keys {
+			ws := ch.pending[k]
+			for i, w := range ws {
+				if w == c {
+					ch.pending[k] = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+			if len(ch.pending[k]) == 0 {
+				delete(ch.pending, k)
+			}
+		}
+	}
+}
+
+// EgressBytes reports the total bytes this relay has sent downstream.
+func (r *Relay) EgressBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.egress
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"livenas/internal/edge"
+	"livenas/internal/sweep"
+)
+
+// TestFigEdgeWorkerInvariant is the edge determinism acceptance gate: the
+// fan-out table must be byte-identical whether the ingest sessions run on
+// 1, 2 or 8 sweep workers (the fan-out sims themselves are inline and
+// virtual-clocked).
+func TestFigEdgeWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full ingest sessions")
+	}
+	o := fastOpts()
+	o.EdgeMaxViewers = 100 // sweep 10 and 100 viewers; 1000 is for the full harness
+	cache, err := sweep.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		r := sweep.New(context.Background(), sweep.Options{Workers: workers, Cache: cache})
+		return FigEdge(o, r).String()
+	}
+	base := render(1)
+	for _, w := range []int{2, 8} {
+		if got := render(w); got != base {
+			t.Fatalf("edge table differs between 1 and %d workers:\n%s\nvs\n%s", w, base, got)
+		}
+	}
+	// Structure: a direct and a tree row per viewer count, and the tree
+	// must cut origin egress (the "saving" column carries a multiplier).
+	tb := FigEdge(o, sweep.New(context.Background(), sweep.Options{Workers: 2, Cache: cache}))
+	if len(tb.Rows) != 4 {
+		t.Fatalf("edge rows %d, want 4 (direct+tree x 10/100 viewers):\n%s", len(tb.Rows), tb)
+	}
+	for i := 1; i < len(tb.Rows); i += 2 {
+		saving := tb.Rows[i][len(tb.Rows[i])-1]
+		if !strings.HasPrefix(saving, "x") {
+			t.Fatalf("tree row %d has no egress saving: %v", i, tb.Rows[i])
+		}
+	}
+}
+
+// TestEdgeBenchPlanDeterministic pins the benchmark plan: the same options
+// must produce sims whose results — including the virtual-time delivery
+// p99 the bench gate pins exactly — never drift across runs.
+func TestEdgeBenchPlanDeterministic(t *testing.T) {
+	run := func() []*edge.Result {
+		var out []*edge.Result
+		for _, c := range EdgeBenchPlan(DefaultOptions()) {
+			r, err := edge.RunSim(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].DeliveryP99 != b[i].DeliveryP99 || a[i].Delivered != b[i].Delivered {
+			t.Fatalf("bench sim %d drifted: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -107,6 +107,9 @@ type Options struct {
 	FleetStreams int
 	// FleetGPUs is the fleet experiment's GPU-pool size M (default 2).
 	FleetGPUs int
+	// EdgeMaxViewers caps the edge experiment's viewer fan-out sweep
+	// (default 1000: the sweep runs 10/100/1000 viewers).
+	EdgeMaxViewers int
 }
 
 // DefaultOptions returns the fast harness configuration.

@@ -89,6 +89,7 @@ var Registry = []Experiment{
 	{"abl-scheduler", "ablation: scheduler vs fixed allocation", oneSwept(AblationScheduler)},
 	{"abl-funcodec", "ablation: functional-codec quality probe", oneSwept(AblationFunctionalCodec)},
 	{"fleet", "multi-tenant ingest: N streamers x M GPUs per admission policy", oneSwept(FigFleet)},
+	{"edge", "distribution edge: origin->relay->viewer fan-out of enhanced output", oneSwept(FigEdge)},
 }
 
 // Find returns the registered experiment with the given id.

@@ -113,3 +113,14 @@ func (s *Simulator) StepUntil(t time.Duration, budget int) bool {
 
 // Pending reports the number of scheduled events.
 func (s *Simulator) Pending() int { return len(s.pq) }
+
+// Next reports the timestamp of the earliest pending event. Drivers that
+// must advance the clock only as far as real work exists (for example a
+// blocking Recv on a simulated connection) peek here instead of running
+// to an arbitrary horizon.
+func (s *Simulator) Next() (time.Duration, bool) {
+	if len(s.pq) == 0 {
+		return 0, false
+	}
+	return s.pq[0].at, true
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"livenas/internal/sim"
+	"livenas/internal/wire"
+)
+
+func simPair(kbps float64, delay time.Duration, queueBytes int) (*sim.Simulator, *SimConn, *SimConn) {
+	s := sim.New()
+	cfg := SimLinkConfig{Kbps: kbps, Delay: delay, QueueBytes: queueBytes}
+	a, b := NewSimConnPair(s, cfg, cfg)
+	return s, a, b
+}
+
+// TestSimConnDelivery pins the netem shape: a message's arrival time is
+// its serialisation time at the link rate plus the propagation delay.
+func TestSimConnDelivery(t *testing.T) {
+	s, a, b := simPair(100 /*kbps*/, 20*time.Millisecond, 0)
+	m := &wire.Message{Type: wire.MsgSegment, Data: make([]byte, 1000-64)} // WireSize = 1000
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("wrong message delivered")
+	}
+	// 1000 bytes at 100 kbps = 80 ms serialisation, + 20 ms propagation.
+	if want := 100 * time.Millisecond; s.Now() != want {
+		t.Fatalf("delivered at %v, want %v", s.Now(), want)
+	}
+}
+
+// TestSimConnFIFO checks ordered delivery under back-to-back sends and
+// that serialisation of the second message waits for the first.
+func TestSimConnFIFO(t *testing.T) {
+	s, a, b := simPair(100, 10*time.Millisecond, 0)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(&wire.Message{Type: wire.MsgVideo, FrameID: i, Data: make([]byte, 1000-64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var at []time.Duration
+	for i := 0; i < 3; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FrameID != i {
+			t.Fatalf("out of order: got frame %d at position %d", m.FrameID, i)
+		}
+		at = append(at, s.Now())
+	}
+	// Serialisation is 80 ms per message; arrivals 90, 170, 250 ms.
+	want := []time.Duration{90 * time.Millisecond, 170 * time.Millisecond, 250 * time.Millisecond}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("arrival %d at %v, want %v", i, at[i], want[i])
+		}
+	}
+}
+
+// TestSimConnDropOldest fills the bounded queue and checks the oldest
+// waiting message goes first while the newest survives.
+func TestSimConnDropOldest(t *testing.T) {
+	s, a, b := simPair(100, 0, 2000)
+	// First message starts serialising immediately (not part of the queue);
+	// the next three overflow the 2000-byte bound by one.
+	for i := 0; i < 4; i++ {
+		if err := a.Send(&wire.Message{Type: wire.MsgVideo, FrameID: i, Data: make([]byte, 1000-64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", a.Dropped())
+	}
+	var got []int
+	for i := 0; i < 3; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.FrameID)
+	}
+	if got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivered %v, want [0 2 3] (frame 1 was the oldest queued)", got)
+	}
+	_ = s
+}
+
+// TestSimConnRecvTimeout checks the virtual-clock receive timeout: the
+// clock advances exactly to the deadline and no further.
+func TestSimConnRecvTimeout(t *testing.T) {
+	s, a, b := simPair(0, 50*time.Millisecond, 0)
+	b.SetRecvTimeout(30 * time.Millisecond)
+	if err := a.Send(&wire.Message{Type: wire.MsgBye}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock at %v after timeout, want 30ms", s.Now())
+	}
+	b.SetRecvTimeout(0)
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("message should arrive after timeout cleared: %v", err)
+	}
+	if s.Now() != 50*time.Millisecond {
+		t.Fatalf("clock at %v, want 50ms", s.Now())
+	}
+}
+
+// TestSimConnClose checks both directions: the closer errors immediately,
+// the peer after the FIN propagates.
+func TestSimConnClose(t *testing.T) {
+	_, a, b := simPair(0, 10*time.Millisecond, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&wire.Message{Type: wire.MsgBye}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed conn: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv from closed peer: %v", err)
+	}
+}
+
+// TestSimConnOnMessage checks handler-driven delivery, including the
+// drain of messages that arrived before the handler was installed.
+func TestSimConnOnMessage(t *testing.T) {
+	s, a, b := simPair(0, 5*time.Millisecond, 0)
+	a.Send(&wire.Message{Type: wire.MsgVideo, FrameID: 0})
+	s.RunUntil(10 * time.Millisecond) // lands in the inbox pre-handler
+	var got []int
+	b.OnMessage(func(m *wire.Message) { got = append(got, m.FrameID) })
+	a.Send(&wire.Message{Type: wire.MsgVideo, FrameID: 1})
+	s.RunUntil(20 * time.Millisecond)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("handler saw %v, want [0 1]", got)
+	}
+}
+
+// TestNetConnRoundTrip runs the framed protocol over an in-memory
+// net.Pipe: the real-socket implementation minus the kernel.
+func TestNetConnRoundTrip(t *testing.T) {
+	pa, pb := net.Pipe()
+	a, b := NewNetConn(pa), NewNetConn(pb)
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(&wire.Message{Type: wire.MsgSegment, FrameID: 4, Rung: 1, SegID: "abcd", Data: []byte{1, 2, 3}})
+	}()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != wire.MsgSegment || m.FrameID != 4 || m.SegID != "abcd" {
+		t.Fatalf("got %+v", m)
+	}
+
+	b.SetRecvTimeout(20 * time.Millisecond)
+	if _, err := b.Recv(); !IsTimeout(err) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+
+	a.Close()
+	b.SetRecvTimeout(0)
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv after peer close must error")
+	}
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"livenas/internal/wire"
+)
+
+// QueuedConn decouples Send from the socket: messages enter a bounded
+// in-memory queue and a writer goroutine drains it, so an actor holding
+// its lock never blocks on a slow peer. Over the bound the *oldest* queued
+// message is dropped — the real-process twin of SimConn's drop-oldest
+// outbound queue, and the per-viewer backpressure of cmd/livenas-edge: a
+// viewer that cannot keep up loses stale segments, not the connection.
+//
+// Recv, Close and SetRecvTimeout pass through to the wrapped Conn. The
+// writer goroutine exits on Close or on the first send error (after which
+// Send returns that error).
+type QueuedConn struct {
+	inner Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*wire.Message
+	queued  int // bytes across queue
+	bound   int // <= 0: unbounded
+	dropped int64
+	closed  bool
+	err     error
+	done    chan struct{} // closed when the writer goroutine exits
+}
+
+// NewQueuedConn wraps c with an asynchronous send queue bounded to
+// queueBytes (<= 0 means unbounded: for control connections whose traffic
+// is small and must not be dropped).
+func NewQueuedConn(c Conn, queueBytes int) *QueuedConn {
+	q := &QueuedConn{inner: c, bound: queueBytes, done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	go q.writer() //livenas:allow goroutine-leak joined by QueuedConn.Close via q.done, not by NewQueuedConn
+	return q
+}
+
+func (q *QueuedConn) writer() {
+	defer close(q.done)
+	for {
+		m, ok := q.next()
+		if !ok {
+			return
+		}
+		if err := q.inner.Send(m); err != nil {
+			q.fail(err)
+			return
+		}
+	}
+}
+
+// next blocks until a message is queued or the connection is done.
+func (q *QueuedConn) next() (*wire.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed && q.err == nil {
+		q.cond.Wait()
+	}
+	if q.closed || q.err != nil {
+		q.queue, q.queued = nil, 0
+		return nil, false
+	}
+	m := q.queue[0]
+	q.queue = q.queue[1:]
+	q.queued -= m.WireSize()
+	return m, true
+}
+
+// fail records the first send error; later Sends return it.
+func (q *QueuedConn) fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.err = err
+	q.queue, q.queued = nil, 0
+}
+
+// Send enqueues m; it never blocks on the network.
+func (q *QueuedConn) Send(m *wire.Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.err != nil {
+		return q.err
+	}
+	q.queue = append(q.queue, m)
+	q.queued += m.WireSize()
+	for q.bound > 0 && q.queued > q.bound && len(q.queue) > 1 {
+		old := q.queue[0]
+		q.queue = q.queue[1:]
+		q.queued -= old.WireSize()
+		q.dropped++
+	}
+	q.cond.Signal()
+	return nil
+}
+
+// Recv passes through to the wrapped connection.
+func (q *QueuedConn) Recv() (*wire.Message, error) { return q.inner.Recv() }
+
+// Close stops the writer (queued messages are discarded), closes the
+// wrapped connection, and joins the writer goroutine. Closing the inner
+// connection first unblocks a writer stuck mid-Send on a slow socket.
+func (q *QueuedConn) Close() error {
+	q.shutdown()
+	err := q.inner.Close()
+	<-q.done
+	return err
+}
+
+func (q *QueuedConn) shutdown() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// SetRecvTimeout passes through to the wrapped connection.
+func (q *QueuedConn) SetRecvTimeout(d time.Duration) { q.inner.SetRecvTimeout(d) }
+
+// Dropped reports how many messages the drop-oldest bound evicted.
+func (q *QueuedConn) Dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+var _ Conn = (*QueuedConn)(nil)

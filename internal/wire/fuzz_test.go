@@ -15,6 +15,10 @@ func fuzzSeeds(t interface{ Fatalf(string, ...interface{}) }) [][]byte {
 		{Type: MsgPatch, FrameID: 7, X: 64, Y: 128, Data: bytes.Repeat([]byte{0xAB}, 33)},
 		{Type: MsgStats, GainDB: 1.25, Epochs: 3, Samples: 150},
 		{Type: MsgBye},
+		{Type: MsgSubscribe, Channel: "ch000", FrameID: 4},
+		{Type: MsgPlaylist, Channel: "ch000", Data: bytes.Repeat([]byte{0x31}, 40)},
+		{Type: MsgSegmentReq, Channel: "ch000", FrameID: 11, Rung: 3},
+		{Type: MsgSegment, Channel: "ch000", FrameID: 11, Rung: 3, SegID: "cafef00d", SegDurUS: 1_000_000, Data: bytes.Repeat([]byte{0x7}, 64)},
 	}
 	var seeds [][]byte
 	for _, m := range msgs {
@@ -23,13 +27,23 @@ func fuzzSeeds(t interface{ Fatalf(string, ...interface{}) }) [][]byte {
 			t.Fatalf("seed encode: %v", err)
 		}
 		seeds = append(seeds, buf.Bytes())
+		// The same message in the versioned framing, so the corpus exercises
+		// both decode paths from the start.
+		var fbuf bytes.Buffer
+		if err := WriteFrame(&fbuf, m); err != nil {
+			t.Fatalf("seed frame encode: %v", err)
+		}
+		seeds = append(seeds, fbuf.Bytes())
 	}
 	return seeds
 }
 
-// FuzzWireRead feeds arbitrary bytes to Read. Read must return an error or
-// a message — never panic — and any message it accepts must survive a
-// Write/Read round trip unchanged.
+// FuzzWireRead feeds arbitrary bytes to both decode paths, Read (legacy
+// framing) and ReadFrame (versioned framing). Each must return an error or
+// a message — never panic — and any message either accepts must survive a
+// round trip through its own framing unchanged. ReadFrame additionally may
+// return *VersionError, which the round-trip check skips: it carries no
+// message by design.
 func FuzzWireRead(f *testing.F) {
 	for _, s := range fuzzSeeds(f) {
 		f.Add(s)
@@ -41,19 +55,17 @@ func FuzzWireRead(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // length prefix over maxMessage
+	f.Add([]byte{0, 0, 0, 1, 0xFE})       // framed: unknown version, empty body
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := Read(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
+	roundTrip := func(t *testing.T, m *Message,
+		write func(*bytes.Buffer, *Message) error, read func(*bytes.Buffer) (*Message, error), path string) {
 		var buf bytes.Buffer
-		if err := Write(&buf, m); err != nil {
-			t.Fatalf("re-encode accepted message: %v", err)
+		if err := write(&buf, m); err != nil {
+			t.Fatalf("%s: re-encode accepted message: %v", path, err)
 		}
-		m2, err := Read(&buf)
+		m2, err := read(&buf)
 		if err != nil {
-			t.Fatalf("re-decode own encoding: %v", err)
+			t.Fatalf("%s: re-decode own encoding: %v", path, err)
 		}
 		// gob does not distinguish nil from empty slices; normalise before
 		// comparing.
@@ -64,7 +76,25 @@ func FuzzWireRead(f *testing.F) {
 			m2.Data = nil
 		}
 		if !reflect.DeepEqual(m, m2) {
-			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", m2, m)
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", path, m2, m)
 		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := Read(bytes.NewReader(data)); err == nil {
+			roundTrip(t, m,
+				func(b *bytes.Buffer, m *Message) error { return Write(b, m) },
+				func(b *bytes.Buffer) (*Message, error) { return Read(b) }, "legacy")
+		}
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if _, ok := err.(*VersionError); ok && m != nil {
+				t.Fatalf("framed: VersionError must not carry a message")
+			}
+			return
+		}
+		roundTrip(t, m,
+			func(b *bytes.Buffer, m *Message) error { return WriteFrame(b, m) },
+			func(b *bytes.Buffer) (*Message, error) { return ReadFrame(b) }, "framed")
 	})
 }

@@ -23,6 +23,7 @@ import (
 	"context"
 
 	"livenas/internal/core"
+	"livenas/internal/edge"
 	"livenas/internal/exp"
 	"livenas/internal/fleet"
 	"livenas/internal/sweep"
@@ -170,6 +171,41 @@ func NewFleetManager(o FleetOptions) *FleetManager { return fleet.NewManager(o) 
 func BuildFleetPlan(specs []FleetStreamSpec, o FleetOptions) (*FleetPlan, error) {
 	return fleet.BuildPlan(specs, o)
 }
+
+// Edge layer access: distribution of each channel's enhanced output as
+// HLS-style segments from an origin through relay trees to viewer
+// sessions, over the unified transport.Conn API — the same actors run on
+// netem-shaped simulated links (RunEdge) and on real sockets
+// (cmd/livenas-edge, cmd/livenas-server's origin endpoint).
+type (
+	// EdgeOrigin packages enhanced epochs into segments and serves the
+	// rolling playlist to subscribers.
+	EdgeOrigin = edge.Origin
+	// EdgeRelay subscribes upstream and fans out to many downstream
+	// subscribers through a pull-through segment cache.
+	EdgeRelay = edge.Relay
+	// EdgeViewer plays one channel: follows the playlist, fetches
+	// segments at the rung its ABR algorithm picks, tracks QoE.
+	EdgeViewer = edge.Viewer
+	// EdgeViewerConfig parameterises a viewer session.
+	EdgeViewerConfig = edge.ViewerConfig
+	// EdgeViewerStats summarises one viewer's playback.
+	EdgeViewerStats = edge.ViewerStats
+	// EdgeSegment is one content-addressed media segment.
+	EdgeSegment = edge.Segment
+	// EdgePlaylist is the rolling window of published segment refs.
+	EdgePlaylist = edge.Playlist
+	// EdgeSimConfig describes one deterministic fan-out simulation.
+	EdgeSimConfig = edge.SimConfig
+	// EdgeResult aggregates a fan-out simulation's delivery metrics.
+	EdgeResult = edge.Result
+	// EdgeTelemetry is the edge layer's metric bundle.
+	EdgeTelemetry = edge.Telemetry
+)
+
+// RunEdge runs one origin→relay→viewer fan-out simulation on a virtual
+// clock: byte-identical results for the same config on every host.
+func RunEdge(c EdgeSimConfig) (*EdgeResult, error) { return edge.RunSim(c) }
 
 // Experiments lists every reproducible table and figure id.
 func Experiments() []string { return exp.IDs() }

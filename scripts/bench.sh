@@ -11,9 +11,13 @@
 #                               sweep-engine serial-vs-parallel record
 #                               BENCH_sweep.json (cmd/livenas-bench
 #                               -sweepbench; gated by bench-compare -sweep),
-#                               and the vet-engine cold/warm record
+#                               the vet-engine cold/warm record
 #                               BENCH_vet.json (livenas-vet -bench; gated by
-#                               bench-compare -vet)
+#                               bench-compare -vet), the fleet record
+#                               BENCH_fleet.json (-fleetbench; bench-compare
+#                               -fleet) and the edge fan-out record
+#                               BENCH_edge.json (-edgebench; bench-compare
+#                               -edge)
 #   scripts/bench.sh -short     few-iteration smoke run (CI gate): exercises
 #                               every kernel bench and the JSON emitter,
 #                               writes to a temp file so the tracked baseline
@@ -136,6 +140,9 @@ if [[ "$SHORT" == 0 ]]; then
 
     echo "== bench: fleet plan serial vs parallel" >&2
     go run ./cmd/livenas-bench -fleetbench BENCH_fleet.json
+
+    echo "== bench: edge fan-out plan serial vs parallel" >&2
+    go run ./cmd/livenas-bench -edgebench BENCH_edge.json
 
     echo "== bench: vet engine cold vs warm" >&2
     go run ./cmd/livenas-vet -bench BENCH_vet.json ./...

@@ -187,10 +187,16 @@ else
     # internal/nn rides along for the int8/strip-parallel kernel stress;
     # internal/sr's stress set includes the quantized-path churn test;
     # internal/fleet races the registry against mid-epoch teardowns.
-    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/nn ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep ./internal/fleet
+    # internal/edge races the origin/relay/viewer actors over both SimConn
+    # and real-socket (net.Pipe + queued-writer) paths.
+    step "go test -race" go test -race ./internal/telemetry ./internal/sr ./internal/nn ./internal/wire ./internal/transport ./internal/core ./internal/analysis ./internal/sweep ./internal/fleet ./internal/edge
     if [[ -n "${FLEET_SOAK_STREAMS:-}" ]]; then
         step "fleet soak (N=$FLEET_SOAK_STREAMS, -race)" go test -race \
             -run '^TestFleetSoak$' -v ./internal/fleet
+    fi
+    if [[ -n "${EDGE_SOAK_VIEWERS:-}" ]]; then
+        step "edge soak (N=$EDGE_SOAK_VIEWERS, -race)" go test -race \
+            -run '^TestEdgeSoak$' -v ./internal/edge
     fi
     if [[ "$FUZZTIME" != "0" ]]; then
         step "fuzz wire ($FUZZTIME)" go test -run '^$' -fuzz '^FuzzWireRead$' -fuzztime "$FUZZTIME" ./internal/wire
@@ -199,6 +205,7 @@ else
     step "bench gate" go run ./cmd/bench-compare
     step "sweep gate" go run ./cmd/bench-compare -sweep
     step "fleet gate" go run ./cmd/bench-compare -fleet
+    step "edge gate" go run ./cmd/bench-compare -edge
     step "vet gate" go run ./cmd/bench-compare -vet
     step "summary gate" summary_gate
     if [[ -n "${CI_ARTIFACTS:-}" ]]; then
